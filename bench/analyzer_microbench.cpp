@@ -1,0 +1,85 @@
+// Micro-benchmarks of the recovery analyzer and scheduler (Section VI
+// step 1: "design and evaluate the performance degradation of analyzing
+// algorithm and scheduling algorithm").
+//
+// Reported per log size and per queued-attack count, these are the real
+// mu_k / xi_k cost curves of this implementation.
+#include <benchmark/benchmark.h>
+
+#include "selfheal/recovery/analyzer.hpp"
+#include "selfheal/recovery/correctness.hpp"
+#include "selfheal/recovery/scheduler.hpp"
+#include "selfheal/sim/workload.hpp"
+
+using namespace selfheal;
+
+namespace {
+
+void BM_DependencyGraphBuild(benchmark::State& state) {
+  const auto n_workflows = static_cast<std::size_t>(state.range(0));
+  const auto scenario = sim::make_attack_scenario(7, n_workflows, 1);
+  for (auto _ : state) {
+    deps::DependencyAnalyzer deps(scenario.engine->log(),
+                                  scenario.engine->specs_by_run());
+    benchmark::DoNotOptimize(deps.edges().size());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(scenario.engine->log().size()));
+}
+BENCHMARK(BM_DependencyGraphBuild)->Arg(2)->Arg(8)->Arg(32)->Arg(64)->Complexity();
+
+void BM_AnalyzeOneAlert(benchmark::State& state) {
+  const auto n_workflows = static_cast<std::size_t>(state.range(0));
+  const auto scenario = sim::make_attack_scenario(11, n_workflows, 1);
+  const recovery::RecoveryAnalyzer analyzer(*scenario.engine);
+  for (auto _ : state) {
+    auto plan = analyzer.analyze(scenario.malicious);
+    benchmark::DoNotOptimize(plan.damaged.size());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(scenario.engine->log().size()));
+}
+BENCHMARK(BM_AnalyzeOneAlert)->Arg(2)->Arg(8)->Arg(32)->Arg(64)->Complexity();
+
+void BM_AnalyzeManyAttacks(benchmark::State& state) {
+  // mu_k style: cost of one analysis as the number of concurrent attacks
+  // (queued units of damage) grows.
+  const auto n_attacks = static_cast<std::size_t>(state.range(0));
+  const auto scenario = sim::make_attack_scenario(13, 16, n_attacks);
+  const recovery::RecoveryAnalyzer analyzer(*scenario.engine);
+  for (auto _ : state) {
+    auto plan = analyzer.analyze(scenario.malicious);
+    benchmark::DoNotOptimize(plan.constraints.size());
+  }
+}
+BENCHMARK(BM_AnalyzeManyAttacks)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_FullRecovery(benchmark::State& state) {
+  // xi_k style: undo+replay cost, per scenario size. The scheduler
+  // mutates the engine, so each iteration builds a fresh scenario
+  // (subtracted via manual timing).
+  const auto n_workflows = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto scenario = sim::make_attack_scenario(17, n_workflows, 2);
+    const recovery::RecoveryAnalyzer analyzer(*scenario.engine);
+    auto plan = analyzer.analyze(scenario.malicious);
+    state.ResumeTiming();
+    recovery::RecoveryScheduler scheduler(*scenario.engine);
+    const auto outcome = scheduler.execute(plan);
+    benchmark::DoNotOptimize(outcome.action_entries.size());
+  }
+}
+BENCHMARK(BM_FullRecovery)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_OracleCheck(benchmark::State& state) {
+  auto scenario = sim::make_attack_scenario(19, 16, 1);
+  const recovery::RecoveryAnalyzer analyzer(*scenario.engine);
+  recovery::RecoveryScheduler scheduler(*scenario.engine);
+  scheduler.execute(analyzer.analyze(scenario.malicious));
+  const recovery::CorrectnessChecker checker(*scenario.engine);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.check().complete);
+  }
+}
+BENCHMARK(BM_OracleCheck);
+
+}  // namespace

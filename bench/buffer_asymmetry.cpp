@@ -1,0 +1,81 @@
+// Asymmetric buffer sizing (Sections IV.E and VI).
+//
+// The paper argues: the recovery-task buffer determines the system's
+// overall performance; the alert buffer "may be less than the buffer
+// size of recovery tasks according to its expected value", but a bigger
+// alert buffer helps cache peak traffic -- and shrinking it "saves
+// little space". This bench solves the full (alert buffer x recovery
+// buffer) grid and reports steady-state loss probability plus the mean
+// time to the first lost alert under a burst.
+#include <cstdio>
+
+#include "selfheal/ctmc/recovery_stg.hpp"
+#include "selfheal/util/table.hpp"
+
+using namespace selfheal;
+
+namespace {
+
+ctmc::RecoveryStg make(double lambda, std::size_t alert_buffer,
+                       std::size_t recovery_buffer) {
+  ctmc::RecoveryStgConfig cfg;
+  cfg.lambda = lambda;
+  cfg.mu1 = 15.0;
+  cfg.xi1 = 20.0;
+  cfg.f = ctmc::power_decay(1.0);
+  cfg.g = ctmc::power_decay(1.0);
+  cfg.alert_buffer = alert_buffer;
+  cfg.recovery_buffer = recovery_buffer;
+  return ctmc::RecoveryStg(cfg);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Asymmetric buffers: steady-state loss probability at lambda=1\n");
+  std::printf("(rows: alert buffer, columns: recovery buffer; mu1=15, xi1=20, "
+              "mu_k=mu1/k, xi_k=xi1/k)\n\n");
+
+  const std::vector<std::size_t> sizes{2, 4, 8, 12, 16};
+  std::vector<std::string> headers{"alert \\ recovery"};
+  for (const auto r : sizes) headers.push_back(std::to_string(r));
+  util::Table grid(headers);
+  grid.set_precision(3);
+  for (const auto a : sizes) {
+    std::vector<std::string> row{std::to_string(a)};
+    for (const auto r : sizes) {
+      const auto stg = make(1.0, a, r);
+      const auto pi = stg.steady_state();
+      char cell[32];
+      std::snprintf(cell, sizeof cell, "%.2e",
+                    pi ? stg.loss_probability(*pi) : 1.0);
+      row.push_back(cell);
+    }
+    grid.add_row(row);
+  }
+  std::printf("%s", grid.render().c_str());
+
+  std::printf("\nBurst absorption: mean time from NORMAL to the first lost alert "
+              "at lambda=3\n\n");
+  util::Table burst({"alert buffer", "recovery buffer", "mean time to first loss"});
+  burst.set_precision(4);
+  for (const auto a : sizes) {
+    for (const auto r : {std::size_t{4}, std::size_t{12}}) {
+      const auto stg = make(3.0, a, r);
+      if (const auto t = stg.mean_time_to_loss()) {
+        burst.add(a, r, *t);
+      }
+    }
+  }
+  std::printf("%s", burst.render().c_str());
+  std::printf(
+      "\n# Reading: the ALERT buffer sets the loss floor (losses happen at\n"
+      "# its edge) and stretches how long a burst is absorbed before the\n"
+      "# first loss (Section IV.E's 'cache peak traffic'), saturating once\n"
+      "# the analyzer is the bottleneck. OVERSIZING the recovery buffer\n"
+      "# backfires under 1/k degradation -- deep recovery queues slow the\n"
+      "# scheduler down (the same effect as Figure 4's rising tail), which\n"
+      "# is the paper's 'critical parameter' warning seen from the other\n"
+      "# side.\n");
+  return 0;
+}

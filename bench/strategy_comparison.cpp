@@ -1,0 +1,49 @@
+// Comparison of the Section III.D recovery strategies on the full-stack
+// simulator: strict correctness (the paper's choice, Theorem 4
+// blocking), risky concurrency, and multi-version concurrency (the
+// strategy the paper defers to future work).
+//
+// Reported per attack rate: normal-state availability, deferred normal
+// runs, total recovery work, and whether the final state is strict
+// correct without an extra repair pass.
+#include <cstdio>
+
+#include "selfheal/sim/system_sim.hpp"
+#include "selfheal/util/table.hpp"
+
+using namespace selfheal;
+
+int main() {
+  std::printf("Recovery-strategy comparison (Section III.D) on the full-system "
+              "simulator\n");
+  std::printf("(horizon 100, benign runs at rate 1, detection delay 1)\n");
+
+  util::Table table({"strategy", "attack rate", "P(NORMAL)", "deferred runs",
+                     "recovery work", "strict correct at end"});
+  table.set_precision(3);
+
+  for (const auto strategy :
+       {recovery::ConcurrencyStrategy::kStrict,
+        recovery::ConcurrencyStrategy::kMultiVersion,
+        recovery::ConcurrencyStrategy::kRisky}) {
+    for (double rate : {0.25, 0.5, 1.0}) {
+      sim::SystemSimConfig cfg;
+      cfg.attack_rate = rate;
+      cfg.benign_rate = 1.0;
+      cfg.horizon = 100.0;
+      cfg.seed = 77;
+      cfg.strategy = strategy;
+      const auto result = sim::run_system_sim(cfg);
+      table.add(recovery::to_string(strategy), rate, result.p_normal,
+                result.deferred_runs, result.controller.recovery_work,
+                result.strict_correct ? "yes" : "NO");
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\n# Strict defers normal work during recovery; multi-version runs it\n"
+      "# immediately and still converges (recovery reads versioned/clean\n"
+      "# data); risky can leave corrupt state that needs further rounds --\n"
+      "# exactly the trade-off of Section III.D.\n");
+  return 0;
+}

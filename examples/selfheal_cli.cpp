@@ -1,0 +1,228 @@
+// selfheal_cli: drive the whole system from workflow DSL files.
+//
+//   selfheal_cli [flags] workflow1.wf workflow2.wf ...
+//     --attack WORKFLOW:TASK   corrupt TASK of WORKFLOW's run
+//                              (repeatable via comma list)
+//     --dot                    print the workflows as Graphviz DOT
+//     --deps                   print compile-time dependence relations
+//     --log                    print the system log before/after
+//     --plan                   print the recovery plan
+//     --strategy strict|risky|multi-version
+//     --save FILE              persist the repaired session to FILE
+//     --load FILE              restore a session instead of running
+//                              workflows (recovery then runs on it)
+//
+// With no files, a built-in demo pair of workflows is used. Each file
+// holds one workflow in the DSL of selfheal/wfspec/parser.hpp. All
+// workflows share one object catalog, run once, are attacked as
+// requested, detected by the simulated IDS, and repaired through the
+// self-healing controller; the exit code reports strict correctness.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "selfheal/engine/session_io.hpp"
+#include "selfheal/recovery/analyzer.hpp"
+#include "selfheal/recovery/controller.hpp"
+#include "selfheal/recovery/correctness.hpp"
+#include "selfheal/util/flags.hpp"
+#include "selfheal/wfspec/parser.hpp"
+#include "selfheal/wfspec/static_deps.hpp"
+
+using namespace selfheal;
+
+namespace {
+
+constexpr const char* kDemoOrders = R"(
+workflow orders
+task receive writes order
+task check reads order writes decision
+task route reads decision writes lane selector decision
+task express reads lane writes shipment
+task standard reads lane writes shipment
+task invoice reads shipment order writes bill
+edge receive check
+edge check route
+edge route express standard
+edge express invoice
+edge standard invoice
+)";
+
+constexpr const char* kDemoAudit = R"(
+workflow audit
+task snapshot reads bill writes books
+task verify reads books writes verdict
+edge snapshot verify
+)";
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "selfheal_cli: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::istringstream in(text);
+  std::string part;
+  while (std::getline(in, part, sep)) {
+    if (!part.empty()) parts.push_back(part);
+  }
+  return parts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+
+  engine::Session session;
+  if (flags.has("load")) {
+    // --- Restore a persisted session (the attack is already inside).
+    try {
+      session = engine::load_session_file(flags.get("load", ""));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "selfheal_cli: %s\n", e.what());
+      return 2;
+    }
+    std::printf("loaded session: %zu runs, %zu log entries\n",
+                session.engine->run_count(), session.engine->log().size());
+    session.engine->run_all();  // finish anything that was in flight
+  } else {
+    // --- Load workflows.
+    session.catalog = std::make_unique<wfspec::ObjectCatalog>();
+    auto& catalog = *session.catalog;
+    auto& specs = session.specs;
+    try {
+      if (flags.positional().empty()) {
+        specs.push_back(std::make_unique<wfspec::WorkflowSpec>(
+            wfspec::parse_workflow(kDemoOrders, catalog)));
+        specs.push_back(std::make_unique<wfspec::WorkflowSpec>(
+            wfspec::parse_workflow(kDemoAudit, catalog)));
+        std::printf("no workflow files given: using the built-in demo pair\n");
+      } else {
+        for (const auto& path : flags.positional()) {
+          specs.push_back(std::make_unique<wfspec::WorkflowSpec>(
+              wfspec::parse_workflow(read_file(path), catalog)));
+        }
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "selfheal_cli: %s\n", e.what());
+      return 2;
+    }
+
+    if (flags.get_bool("dot", false)) {
+      for (const auto& spec : specs) std::printf("%s\n", spec->to_dot().c_str());
+    }
+    if (flags.get_bool("deps", false)) {
+      // Compile-time dependences (Section IV.B): what a deployment would
+      // ship to recovery nodes instead of the full specification.
+      for (const auto& spec : specs) {
+        const wfspec::StaticDependence static_deps(*spec);
+        std::printf("static dependences of %s:\n%s\n", spec->name().c_str(),
+                    static_deps.summary().c_str());
+      }
+    }
+
+    // --- Start runs and inject the requested attacks.
+    session.engine = std::make_unique<engine::Engine>();
+    auto& eng = *session.engine;
+    std::vector<engine::RunId> runs;
+    for (const auto& spec : specs) runs.push_back(eng.start_run(*spec));
+
+    const auto attack_list = flags.get("attack", "orders:check");
+    for (const auto& attack : split(attack_list, ',')) {
+      const auto colon = attack.find(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "selfheal_cli: --attack expects WORKFLOW:TASK\n");
+        return 2;
+      }
+      const auto wf_name = attack.substr(0, colon);
+      const auto task_name = attack.substr(colon + 1);
+      bool found = false;
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (specs[i]->name() != wf_name) continue;
+        try {
+          eng.inject_malicious(runs[i], specs[i]->task_by_name(task_name));
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "selfheal_cli: %s\n", e.what());
+          return 2;
+        }
+        found = true;
+      }
+      if (!found) {
+        std::fprintf(stderr, "selfheal_cli: no workflow named %s\n", wf_name.c_str());
+        return 2;
+      }
+      std::printf("attack: %s\n", attack.c_str());
+    }
+    eng.run_all();
+  }
+  auto& eng = *session.engine;
+
+  if (flags.get_bool("log", false)) {
+    std::printf("log (attacked): %s\n", eng.log().render(eng.specs_by_run()).c_str());
+  }
+
+  // --- Detect and recover through the controller.
+  recovery::ControllerConfig config;
+  const auto strategy = flags.get("strategy", "strict");
+  if (strategy == "risky") {
+    config.strategy = recovery::ConcurrencyStrategy::kRisky;
+  } else if (strategy == "multi-version") {
+    config.strategy = recovery::ConcurrencyStrategy::kMultiVersion;
+  } else if (strategy != "strict") {
+    std::fprintf(stderr, "selfheal_cli: unknown strategy %s\n", strategy.c_str());
+    return 2;
+  }
+  recovery::SelfHealingController controller(eng, config);
+
+  ids::IdsSimulator detector;
+  util::Rng rng(0x5e1f);
+  const auto alerts = detector.detect(eng.log(), rng);
+  std::printf("IDS raised %zu alert(s)\n", alerts.size());
+  for (const auto& alert : alerts) controller.submit_alert(alert);
+
+  if (flags.get_bool("plan", false) && !alerts.empty()) {
+    const recovery::RecoveryAnalyzer analyzer(eng);
+    std::vector<engine::InstanceId> all;
+    for (const auto& alert : alerts) {
+      all.insert(all.end(), alert.malicious.begin(), alert.malicious.end());
+    }
+    std::printf("%s", analyzer.analyze(all)
+                          .describe(eng.log(), eng.specs_by_run())
+                          .c_str());
+  }
+
+  const auto work = controller.drain();
+  std::printf("recovery complete: %zu work units, %zu scans, %zu units executed\n",
+              work, controller.stats().scans, controller.stats().recoveries);
+
+  if (flags.get_bool("log", false)) {
+    std::printf("log (repaired): %s\n", eng.log().render(eng.specs_by_run()).c_str());
+  }
+
+  const auto report = recovery::CorrectnessChecker(eng).check();
+  std::printf("strict correct: %s (%s)\n", report.strict_correct() ? "YES" : "NO",
+              report.summary.c_str());
+
+  if (flags.has("save")) {
+    const auto path = flags.get("save", "");
+    try {
+      engine::save_session_file(eng, path);
+      std::printf("session saved to %s\n", path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "selfheal_cli: %s\n", e.what());
+      return 2;
+    }
+  }
+  return report.strict_correct() ? 0 : 1;
+}

@@ -1,0 +1,327 @@
+#include "selfheal/ctmc/ctmc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+#include "selfheal/linalg/lu.hpp"
+
+namespace selfheal::ctmc {
+
+Ctmc::Ctmc(std::size_t state_count) : q_(state_count, state_count), names_(state_count) {
+  for (std::size_t s = 0; s < state_count; ++s) names_[s] = "s" + std::to_string(s);
+}
+
+void Ctmc::set_rate(std::size_t from, std::size_t to, double rate) {
+  if (from == to) throw std::invalid_argument("Ctmc::set_rate: from == to");
+  if (rate < 0) throw std::invalid_argument("Ctmc::set_rate: negative rate");
+  const double old = q_.at(from, to);
+  q_(from, to) = rate;
+  q_(from, from) -= (rate - old);
+}
+
+void Ctmc::add_rate(std::size_t from, std::size_t to, double rate) {
+  set_rate(from, to, q_.at(from, to) + rate);
+}
+
+double Ctmc::rate(std::size_t from, std::size_t to) const { return q_.at(from, to); }
+
+void Ctmc::set_state_name(std::size_t s, std::string name) {
+  names_.at(s) = std::move(name);
+}
+
+const std::string& Ctmc::state_name(std::size_t s) const { return names_.at(s); }
+
+double Ctmc::max_exit_rate() const noexcept {
+  double best = 0.0;
+  for (std::size_t s = 0; s < state_count(); ++s) {
+    best = std::max(best, -q_(s, s));
+  }
+  return best;
+}
+
+std::optional<std::string> Ctmc::validate(double tol) const {
+  for (std::size_t r = 0; r < state_count(); ++r) {
+    double row_sum = 0.0;
+    for (std::size_t c = 0; c < state_count(); ++c) {
+      if (r != c && q_(r, c) < 0) {
+        return "negative off-diagonal rate at (" + std::to_string(r) + "," +
+               std::to_string(c) + ")";
+      }
+      row_sum += q_(r, c);
+    }
+    if (std::fabs(row_sum) > tol) {
+      return "row " + std::to_string(r) + " sums to " + std::to_string(row_sum);
+    }
+  }
+  return std::nullopt;
+}
+
+bool Ctmc::irreducible() const {
+  const std::size_t n = state_count();
+  if (n == 0) return false;
+  auto reach = [&](bool forward) {
+    std::vector<bool> seen(n, false);
+    std::deque<std::size_t> queue{0};
+    seen[0] = true;
+    while (!queue.empty()) {
+      const std::size_t s = queue.front();
+      queue.pop_front();
+      for (std::size_t t = 0; t < n; ++t) {
+        const double r = forward ? q_(s, t) : q_(t, s);
+        if (s != t && r > 0 && !seen[t]) {
+          seen[t] = true;
+          queue.push_back(t);
+        }
+      }
+    }
+    return seen;
+  };
+  const auto fwd = reach(true);
+  const auto bwd = reach(false);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!fwd[s] || !bwd[s]) return false;
+  }
+  return true;
+}
+
+std::optional<Vector> Ctmc::steady_state() const {
+  const std::size_t n = state_count();
+  if (n == 0) return std::nullopt;
+  if (n == 1) return Vector{1.0};
+  if (!irreducible()) return std::nullopt;
+
+  // GTH (Grassmann-Taksar-Heyman): censor states from the top down using
+  // only additions/divisions of non-negative quantities, then back-fill.
+  Matrix a = q_;  // we only use off-diagonal entries of a
+  for (std::size_t k = n - 1; k >= 1; --k) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < k; ++j) s += a(k, j);
+    if (s <= 0.0) return std::nullopt;  // not reachable given irreducibility
+    for (std::size_t i = 0; i < k; ++i) a(i, k) /= s;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < k; ++j) {
+        if (i != j) a(i, j) += aik * a(k, j);
+      }
+    }
+  }
+
+  Vector pi(n, 0.0);
+  pi[0] = 1.0;
+  for (std::size_t k = 1; k < n; ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < k; ++i) acc += pi[i] * a(i, k);
+    pi[k] = acc;
+  }
+  const double total = linalg::l1_norm(pi);
+  linalg::scale(pi, 1.0 / total);
+  return pi;
+}
+
+std::optional<Vector> Ctmc::steady_state_lu() const {
+  const std::size_t n = state_count();
+  if (n == 0) return std::nullopt;
+  // Solve Q^T pi^T = 0 with the last equation replaced by sum(pi) = 1.
+  Matrix a = q_.transposed();
+  Vector b(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c) a(n - 1, c) = 1.0;
+  b[n - 1] = 1.0;
+  auto solution = linalg::solve_linear(a, b);
+  if (!solution) return std::nullopt;
+  for (double x : *solution) {
+    if (x < -1e-8) return std::nullopt;  // numerically negative probability
+  }
+  for (double& x : *solution) x = std::max(x, 0.0);
+  const double total = linalg::l1_norm(*solution);
+  linalg::scale(*solution, 1.0 / total);
+  return solution;
+}
+
+Vector Ctmc::transient_step(const Vector& pi0, double dt, double eps) const {
+  const std::size_t n = state_count();
+  if (pi0.size() != n) throw std::invalid_argument("transient_step: size mismatch");
+  if (dt <= 0) return pi0;
+
+  // Uniformization: P = I + Q/Lambda, pi(t) = sum_k Pois(Lambda t; k) pi0 P^k.
+  // Split large horizons so Lambda*step stays modest (weights stay in
+  // range and truncation depth stays small).
+  const double lambda = std::max(max_exit_rate(), 1e-12);
+  const double max_step = 32.0 / lambda;
+  if (dt > max_step) {
+    Vector pi = pi0;
+    double remaining = dt;
+    while (remaining > 1e-15) {
+      const double step = std::min(remaining, max_step);
+      pi = transient_step(pi, step, eps);
+      remaining -= step;
+    }
+    return pi;
+  }
+
+  const double lt = lambda * dt;
+  Vector v = pi0;                 // pi0 P^k
+  Vector result(n, 0.0);
+  double weight = std::exp(-lt);  // Pois(lt; 0)
+  double cumulative = weight;
+  linalg::axpy(weight, v, result);
+  // Generous truncation bound; loop exits when the Poisson tail < eps.
+  const std::size_t k_max = static_cast<std::size_t>(lt + 16.0 * std::sqrt(lt + 1.0) + 64.0);
+  for (std::size_t k = 1; k <= k_max && 1.0 - cumulative > eps; ++k) {
+    // v <- v P = v + (v Q)/Lambda
+    Vector vq = q_.left_multiply(v);
+    linalg::axpy(1.0 / lambda, vq, v);
+    weight *= lt / static_cast<double>(k);
+    cumulative += weight;
+    linalg::axpy(weight, v, result);
+  }
+  // Renormalise away the truncated tail mass.
+  const double total = linalg::l1_norm(result);
+  if (total > 0) linalg::scale(result, 1.0 / total);
+  return result;
+}
+
+std::vector<Vector> Ctmc::transient_series(const Vector& pi0,
+                                           const std::vector<double>& times,
+                                           double eps) const {
+  std::vector<Vector> result;
+  result.reserve(times.size());
+  Vector pi = pi0;
+  double now = 0.0;
+  for (double t : times) {
+    if (t < now) throw std::invalid_argument("transient_series: times must ascend");
+    pi = transient_step(pi, t - now, eps);
+    now = t;
+    result.push_back(pi);
+  }
+  return result;
+}
+
+Ctmc::TransientAccumulation Ctmc::accumulate(const Vector& pi0, double t,
+                                             double dt_max) const {
+  TransientAccumulation acc{pi0, Vector(state_count(), 0.0)};
+  if (t <= 0) return acc;
+  const auto steps = static_cast<std::size_t>(std::ceil(t / dt_max));
+  const double dt = t / static_cast<double>(steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    Vector next = transient_step(acc.pi, dt);
+    for (std::size_t s = 0; s < state_count(); ++s) {
+      acc.l[s] += 0.5 * (acc.pi[s] + next[s]) * dt;
+    }
+    acc.pi = std::move(next);
+  }
+  return acc;
+}
+
+Ctmc::TransientAccumulation Ctmc::accumulate_rk4(const Vector& pi0, double t,
+                                                 double dt) const {
+  // Integrates the augmented system y = [pi, l], y' = [pi Q, pi].
+  const std::size_t n = state_count();
+  TransientAccumulation acc{pi0, Vector(n, 0.0)};
+  if (t <= 0) return acc;
+  const auto steps = static_cast<std::size_t>(std::ceil(t / dt));
+  const double h = t / static_cast<double>(steps);
+
+  auto deriv = [&](const Vector& pi) { return q_.left_multiply(pi); };
+
+  for (std::size_t i = 0; i < steps; ++i) {
+    const Vector k1 = deriv(acc.pi);
+    Vector p2 = acc.pi;
+    linalg::axpy(h / 2, k1, p2);
+    const Vector k2 = deriv(p2);
+    Vector p3 = acc.pi;
+    linalg::axpy(h / 2, k2, p3);
+    const Vector k3 = deriv(p3);
+    Vector p4 = acc.pi;
+    linalg::axpy(h, k3, p4);
+    const Vector k4 = deriv(p4);
+
+    // l' = pi, so integrate pi with the same RK4 stage combination.
+    for (std::size_t s = 0; s < n; ++s) {
+      acc.l[s] += h / 6.0 *
+                  (acc.pi[s] + 2.0 * p2[s] + 2.0 * p3[s] + p4[s]);
+      acc.pi[s] += h / 6.0 * (k1[s] + 2.0 * k2[s] + 2.0 * k3[s] + k4[s]);
+    }
+  }
+  return acc;
+}
+
+std::optional<Vector> Ctmc::expected_hitting_time(
+    const std::vector<bool>& target) const {
+  const std::size_t n = state_count();
+  if (target.size() != n) {
+    throw std::invalid_argument("expected_hitting_time: size mismatch");
+  }
+
+  // States that can reach the target at all (backward reachability over
+  // positive-rate edges); the rest get +infinity.
+  std::vector<bool> can_reach = target;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (can_reach[s]) continue;
+      for (std::size_t t = 0; t < n; ++t) {
+        if (s != t && q_(s, t) > 0 && can_reach[t]) {
+          can_reach[s] = true;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Solve over the non-target states that can reach the target:
+  // sum_j q_ij h_j = -1 with h fixed to 0 on targets and the
+  // infinite-states' columns dropped (their probability mass never
+  // returns, which would make the expectation infinite -- we therefore
+  // require, row by row, that no transition leads to an unreachable
+  // state; otherwise that row's time is infinite too).
+  std::vector<std::size_t> index(n, static_cast<std::size_t>(-1));
+  std::vector<std::size_t> states;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!target[s] && can_reach[s]) {
+      bool leaks = false;
+      for (std::size_t t = 0; t < n; ++t) {
+        if (s != t && q_(s, t) > 0 && !can_reach[t]) leaks = true;
+      }
+      if (!leaks) {
+        index[s] = states.size();
+        states.push_back(s);
+      }
+    }
+  }
+
+  const std::size_t m = states.size();
+  Matrix a(m, m);
+  Vector b(m, -1.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < m; ++c) {
+      a(r, c) = q_(states[r], states[c]);
+    }
+  }
+  std::optional<Vector> h;
+  if (m > 0) {
+    h = linalg::solve_linear(a, b);
+    if (!h) return std::nullopt;
+  }
+
+  Vector result(n, std::numeric_limits<double>::infinity());
+  for (std::size_t s = 0; s < n; ++s) {
+    if (target[s]) {
+      result[s] = 0.0;
+    } else if (index[s] != static_cast<std::size_t>(-1)) {
+      result[s] = (*h)[index[s]];
+    }
+  }
+  return result;
+}
+
+double expected_reward(const Vector& pi, const Vector& reward) {
+  return linalg::dot(pi, reward);
+}
+
+}  // namespace selfheal::ctmc

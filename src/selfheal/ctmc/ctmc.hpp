@@ -1,0 +1,105 @@
+// Finite-state Continuous-Time Markov Chains.
+//
+// A CTMC is characterised by its generator matrix Q = (q_ij) where q_ij
+// (i != j) is the transition rate i -> j and q_ii = -sum_{j!=i} q_ij
+// (paper, Section IV.E). This module provides:
+//   * steady state  pi Q = 0, sum pi = 1   (Equation 1) via the
+//     subtraction-free GTH algorithm, with an LU-based independent check;
+//   * transient solution d/dt pi(t) = pi(t) Q  (Equation 2) via
+//     uniformization with adaptive truncation;
+//   * cumulative time per state d/dt l(t) = l(t) Q + pi(0)  (Equation 3),
+//     i.e. l(t) = integral of pi(s) ds, via fine-step quadrature over the
+//     uniformized trajectory (an RK4 integrator is provided as a witness).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "selfheal/linalg/matrix.hpp"
+
+namespace selfheal::ctmc {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// A CTMC over states 0..n-1 with named states and generator Q.
+class Ctmc {
+ public:
+  explicit Ctmc(std::size_t state_count);
+
+  /// Sets the off-diagonal rate from -> to; the diagonal is maintained
+  /// automatically. Rates must be >= 0; from != to.
+  void set_rate(std::size_t from, std::size_t to, double rate);
+  void add_rate(std::size_t from, std::size_t to, double rate);
+  [[nodiscard]] double rate(std::size_t from, std::size_t to) const;
+
+  void set_state_name(std::size_t s, std::string name);
+  [[nodiscard]] const std::string& state_name(std::size_t s) const;
+
+  [[nodiscard]] std::size_t state_count() const noexcept { return names_.size(); }
+  [[nodiscard]] const Matrix& generator() const noexcept { return q_; }
+
+  /// Largest exit rate max_i |q_ii| (the uniformization constant floor).
+  [[nodiscard]] double max_exit_rate() const noexcept;
+
+  /// Verifies the generator invariants (rows sum to ~0, off-diagonals
+  /// >= 0); returns a human-readable problem or nullopt if OK.
+  [[nodiscard]] std::optional<std::string> validate(double tol = 1e-9) const;
+
+  /// True iff the chain is irreducible (single strongly-communicating
+  /// class under edges with positive rate).
+  [[nodiscard]] bool irreducible() const;
+
+  /// Stationary distribution via GTH. Requires irreducibility; returns
+  /// nullopt otherwise (or if numerical pivots vanish).
+  [[nodiscard]] std::optional<Vector> steady_state() const;
+
+  /// Independent steady-state computation: solves the linear system
+  /// pi Q = 0 with the normalisation row, via LU. For cross-checks.
+  [[nodiscard]] std::optional<Vector> steady_state_lu() const;
+
+  /// pi(t0 + dt) from pi(t0) via uniformization; truncation error <= eps.
+  [[nodiscard]] Vector transient_step(const Vector& pi0, double dt,
+                                      double eps = 1e-12) const;
+
+  /// pi(t) sampled at the given (ascending, >= 0) time points.
+  [[nodiscard]] std::vector<Vector> transient_series(
+      const Vector& pi0, const std::vector<double>& times,
+      double eps = 1e-12) const;
+
+  /// Result of integrating the chain to a horizon.
+  struct TransientAccumulation {
+    Vector pi;  // pi(t)
+    Vector l;   // cumulative time per state, l(t) = integral pi
+  };
+
+  /// pi(t) and l(t) with quadrature step `dt_max` (trapezoid over
+  /// uniformized sub-steps; error O(dt^2) and dt defaults keep it far
+  /// below plotting resolution).
+  [[nodiscard]] TransientAccumulation accumulate(const Vector& pi0, double t,
+                                                 double dt_max = 1e-3) const;
+
+  /// RK4 reference integrator for Equations 2+3 (testing witness).
+  [[nodiscard]] TransientAccumulation accumulate_rk4(const Vector& pi0, double t,
+                                                     double dt = 1e-4) const;
+
+  /// Expected first-passage (hitting) time from each state into the
+  /// target set: h_i = 0 for targets, and -sum_j q_ij h_j = 1 elsewhere.
+  /// Entries are +infinity for states that cannot reach the target;
+  /// nullopt if the restricted system is singular. Answers questions
+  /// like "starting from NORMAL, how long until the first alert is
+  /// lost?" exactly, where transient probing only brackets them.
+  [[nodiscard]] std::optional<Vector> expected_hitting_time(
+      const std::vector<bool>& target) const;
+
+ private:
+  Matrix q_;
+  std::vector<std::string> names_;
+};
+
+/// Expected value of `reward` under distribution pi: sum_i pi_i r_i.
+[[nodiscard]] double expected_reward(const Vector& pi, const Vector& reward);
+
+}  // namespace selfheal::ctmc

@@ -1,0 +1,49 @@
+#include "selfheal/ctmc/degradation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace selfheal::ctmc {
+
+Degradation constant_rate() {
+  return [](double base, int) { return base; };
+}
+
+Degradation power_decay(double p) {
+  return [p](double base, int k) { return base / std::pow(static_cast<double>(k), p); };
+}
+
+Degradation log_decay(double c) {
+  return [c](double base, int k) {
+    return base / (1.0 + c * std::log(static_cast<double>(k)));
+  };
+}
+
+Degradation linear_decay(double c, double floor_frac) {
+  return [c, floor_frac](double base, int k) {
+    const double factor = 1.0 - c * static_cast<double>(k - 1);
+    return base * std::max(floor_frac, factor);
+  };
+}
+
+Degradation degradation_by_name(const std::string& name) {
+  if (name == "const") return constant_rate();
+  if (name == "sqrt") return power_decay(0.5);
+  if (name == "inv") return power_decay(1.0);
+  if (name == "inv2") return power_decay(2.0);
+  if (name == "log") return log_decay();
+  if (name == "lin") return linear_decay(0.05);
+  throw std::invalid_argument("unknown degradation function: " + name);
+}
+
+std::string degradation_label(const std::string& name) {
+  if (name == "const") return "r1 (no decay)";
+  if (name == "sqrt") return "r1/sqrt(k)";
+  if (name == "inv") return "r1/k";
+  if (name == "inv2") return "r1/k^2";
+  if (name == "log") return "r1/(1+ln k)";
+  if (name == "lin") return "r1*(1-0.05(k-1))";
+  throw std::invalid_argument("unknown degradation function: " + name);
+}
+
+}  // namespace selfheal::ctmc

@@ -1,0 +1,40 @@
+// Degradation functions mu_k = f(mu_1, k), xi_k = g(xi_1, k).
+//
+// Section IV.D: the analyzer and scheduler check dependence relations
+// against everything queued, so service rates fall as queues grow:
+// mu_1 >= mu_2 >= ... and xi_1 >= xi_2 >= .... The paper studies how the
+// *speed* of that degradation shapes loss probability (Figure 4); this
+// library provides the family of shapes the figure sweeps.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace selfheal::ctmc {
+
+/// Maps (base rate, queue index k >= 1) to the effective rate.
+/// Implementations must be non-increasing in k with value(base, 1) == base.
+using Degradation = std::function<double(double base, int k)>;
+
+/// No degradation: rate stays at `base` for all k.
+[[nodiscard]] Degradation constant_rate();
+
+/// base / k^p. p = 0.5 models slow degradation, p = 1 linear-in-queue
+/// scan costs, p = 2 quadratic (all-pairs dependence checking).
+[[nodiscard]] Degradation power_decay(double p);
+
+/// base / (1 + c * ln(k)): very slow (logarithmic) degradation.
+[[nodiscard]] Degradation log_decay(double c = 1.0);
+
+/// base * max(floor_frac, 1 - c*(k-1)): linear decay with a floor so the
+/// rate never reaches zero (keeps the CTMC irreducible).
+[[nodiscard]] Degradation linear_decay(double c, double floor_frac = 0.02);
+
+/// Named accessor used by CLI flags: "const", "sqrt", "inv", "inv2",
+/// "log", "lin". Throws on unknown names.
+[[nodiscard]] Degradation degradation_by_name(const std::string& name);
+
+/// Human-readable formula for table headers ("mu1/k", "mu1/sqrt(k)", ...).
+[[nodiscard]] std::string degradation_label(const std::string& name);
+
+}  // namespace selfheal::ctmc

@@ -1,0 +1,95 @@
+#include "selfheal/ctmc/mmpp_stg.hpp"
+
+#include <stdexcept>
+
+namespace selfheal::ctmc {
+
+MmppRecoveryStg::MmppRecoveryStg(RecoveryStgConfig base, BurstModel burst)
+    : base_(base), burst_(burst),
+      per_mode_((base.alert_buffer + 1) * (base.recovery_buffer + 1)),
+      chain_(2 * per_mode_) {
+  // Build each mode's STG with its own attack rate and embed it, then
+  // couple the copies with the mode-switching rates.
+  for (int mode = 0; mode < 2; ++mode) {
+    RecoveryStgConfig mode_config = base_;
+    mode_config.lambda = mode == 0 ? burst_.lambda_quiet : burst_.lambda_burst;
+    const RecoveryStg stg(mode_config);
+    const auto offset = static_cast<std::size_t>(mode) * per_mode_;
+    for (std::size_t s = 0; s < per_mode_; ++s) {
+      chain_.set_state_name(offset + s, std::string(mode == 0 ? "Q|" : "B|") +
+                                            stg.chain().state_name(s));
+      for (std::size_t t = 0; t < per_mode_; ++t) {
+        if (s == t) continue;
+        const double rate = stg.chain().rate(s, t);
+        if (rate > 0) chain_.set_rate(offset + s, offset + t, rate);
+      }
+    }
+  }
+  const double to_burst = burst_.quiet_to_burst;
+  const double to_quiet = burst_.burst_to_quiet;
+  if (to_burst <= 0 || to_quiet <= 0) {
+    throw std::invalid_argument("MmppRecoveryStg: switching rates must be > 0");
+  }
+  for (std::size_t s = 0; s < per_mode_; ++s) {
+    chain_.set_rate(s, per_mode_ + s, to_burst);
+    chain_.set_rate(per_mode_ + s, s, to_quiet);
+  }
+}
+
+std::size_t MmppRecoveryStg::state_of(int mode, std::size_t alerts,
+                                      std::size_t units) const {
+  if (mode < 0 || mode > 1 || alerts > base_.alert_buffer ||
+      units > base_.recovery_buffer) {
+    throw std::out_of_range("MmppRecoveryStg::state_of");
+  }
+  return static_cast<std::size_t>(mode) * per_mode_ +
+         alerts * (base_.recovery_buffer + 1) + units;
+}
+
+Vector MmppRecoveryStg::start_normal_quiet() const {
+  Vector pi(state_count(), 0.0);
+  pi[state_of(0, 0, 0)] = 1.0;
+  return pi;
+}
+
+template <typename Pred>
+double MmppRecoveryStg::sum_where(const Vector& pi, Pred pred) const {
+  double acc = 0.0;
+  for (std::size_t s = 0; s < state_count(); ++s) {
+    const auto within = s % per_mode_;
+    const auto alerts = within / (base_.recovery_buffer + 1);
+    const auto units = within % (base_.recovery_buffer + 1);
+    const int mode = s < per_mode_ ? 0 : 1;
+    if (pred(mode, alerts, units)) acc += pi[s];
+  }
+  return acc;
+}
+
+double MmppRecoveryStg::normal_probability(const Vector& pi) const {
+  return sum_where(pi, [](int, std::size_t a, std::size_t r) {
+    return a == 0 && r == 0;
+  });
+}
+
+double MmppRecoveryStg::loss_probability(const Vector& pi) const {
+  const auto amax = base_.alert_buffer;
+  return sum_where(pi, [amax](int, std::size_t a, std::size_t) { return a == amax; });
+}
+
+double MmppRecoveryStg::burst_probability(const Vector& pi) const {
+  return sum_where(pi, [](int mode, std::size_t, std::size_t) { return mode == 1; });
+}
+
+std::optional<double> MmppRecoveryStg::mean_time_to_loss() const {
+  std::vector<bool> target(state_count(), false);
+  const auto amax = base_.alert_buffer;
+  for (std::size_t s = 0; s < state_count(); ++s) {
+    const auto within = s % per_mode_;
+    if (within / (base_.recovery_buffer + 1) == amax) target[s] = true;
+  }
+  const auto h = chain_.expected_hitting_time(target);
+  if (!h) return std::nullopt;
+  return (*h)[state_of(0, 0, 0)];
+}
+
+}  // namespace selfheal::ctmc

@@ -1,0 +1,192 @@
+#include "selfheal/deps/dependency.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace selfheal::deps {
+
+const char* to_string(DepKind kind) {
+  switch (kind) {
+    case DepKind::kFlow: return "flow";
+    case DepKind::kAnti: return "anti";
+    case DepKind::kOutput: return "output";
+    case DepKind::kControl: return "control";
+  }
+  return "?";
+}
+
+DependencyAnalyzer::DependencyAnalyzer(
+    const engine::SystemLog& log,
+    const std::vector<const wfspec::WorkflowSpec*>& spec_of_run) {
+  const std::size_t n = log.size();
+  out_.resize(n);
+  in_.resize(n);
+
+  auto add_edge = [&](InstanceId from, InstanceId to, DepKind kind,
+                      wfspec::ObjectId object) {
+    if (from == to) return;
+    edges_.push_back(DepEdge{from, to, kind, object});
+    out_[static_cast<std::size_t>(from)].push_back(edges_.size() - 1);
+    in_[static_cast<std::size_t>(to)].push_back(edges_.size() - 1);
+  };
+
+  // The analysis runs over the EFFECTIVE execution in logical-slot
+  // order: before any recovery this is exactly the original log; after
+  // a recovery round it is the repaired schedule, so later rounds see
+  // dependences through redone/fresh entries too.
+  const auto effective = log.effective();
+
+  // --- Data dependences: one forward sweep per the commit order,
+  // tracking per object the last writer and the readers since.
+  struct ObjectState {
+    InstanceId last_writer = engine::kInvalidInstance;
+    std::vector<InstanceId> readers_since_write;
+  };
+  std::map<wfspec::ObjectId, ObjectState> state;
+
+  for (const auto id : effective) {
+    const auto& e = log.entry(id);
+    // Read phase first (a task reads the pre-state, then writes).
+    for (const auto object : e.read_objects) {
+      auto& s = state[object];
+      if (s.last_writer != engine::kInvalidInstance) {
+        add_edge(s.last_writer, e.id, DepKind::kFlow, object);
+      }
+      s.readers_since_write.push_back(e.id);
+    }
+    for (const auto object : e.written_objects) {
+      auto& s = state[object];
+      for (const InstanceId reader : s.readers_since_write) {
+        add_edge(reader, e.id, DepKind::kAnti, object);
+      }
+      if (s.last_writer != engine::kInvalidInstance) {
+        add_edge(s.last_writer, e.id, DepKind::kOutput, object);
+      }
+      s.last_writer = e.id;
+      s.readers_since_write.clear();
+    }
+  }
+
+  // --- Control dependences: per run, from the latest preceding instance
+  // of each dominant (branch) node of the task.
+  // last_instance[(run, task)] tracks the most recent incarnation seen.
+  std::map<std::pair<engine::RunId, wfspec::TaskId>, InstanceId> last_instance;
+  for (const auto id : effective) {
+    const auto& e = log.entry(id);
+    const auto* spec = e.run >= 0 && static_cast<std::size_t>(e.run) < spec_of_run.size()
+                           ? spec_of_run[static_cast<std::size_t>(e.run)]
+                           : nullptr;
+    if (spec != nullptr) {
+      for (const auto dominant : spec->dominant_nodes(e.task)) {
+        const auto it = last_instance.find({e.run, dominant});
+        if (it != last_instance.end()) {
+          add_edge(it->second, e.id, DepKind::kControl, wfspec::kInvalidObject);
+        }
+      }
+    }
+    last_instance[{e.run, e.task}] = e.id;
+  }
+}
+
+std::vector<DepEdge> DependencyAnalyzer::edges_from(InstanceId i) const {
+  std::vector<DepEdge> result;
+  for (const auto idx : out_.at(static_cast<std::size_t>(i))) {
+    result.push_back(edges_[idx]);
+  }
+  return result;
+}
+
+std::vector<DepEdge> DependencyAnalyzer::edges_to(InstanceId i) const {
+  std::vector<DepEdge> result;
+  for (const auto idx : in_.at(static_cast<std::size_t>(i))) {
+    result.push_back(edges_[idx]);
+  }
+  return result;
+}
+
+bool DependencyAnalyzer::depends(InstanceId from, InstanceId to, DepKind kind) const {
+  for (const auto idx : out_.at(static_cast<std::size_t>(from))) {
+    const auto& e = edges_[idx];
+    if (e.to == to && e.kind == kind) return true;
+  }
+  return false;
+}
+
+template <typename Filter>
+std::vector<InstanceId> DependencyAnalyzer::closure(
+    const std::vector<InstanceId>& seeds, Filter keep) const {
+  std::set<InstanceId> seen(seeds.begin(), seeds.end());
+  std::deque<InstanceId> queue(seeds.begin(), seeds.end());
+  while (!queue.empty()) {
+    const InstanceId i = queue.front();
+    queue.pop_front();
+    for (const auto idx : out_.at(static_cast<std::size_t>(i))) {
+      const auto& e = edges_[idx];
+      if (!keep(e)) continue;
+      if (seen.insert(e.to).second) queue.push_back(e.to);
+    }
+  }
+  return {seen.begin(), seen.end()};
+}
+
+std::vector<InstanceId> DependencyAnalyzer::flow_closure(
+    const std::vector<InstanceId>& seeds) const {
+  return closure(seeds, [](const DepEdge& e) { return e.kind == DepKind::kFlow; });
+}
+
+std::vector<InstanceId> DependencyAnalyzer::flow_control_closure(
+    const std::vector<InstanceId>& seeds) const {
+  return closure(seeds, [](const DepEdge& e) {
+    return e.kind == DepKind::kFlow || e.kind == DepKind::kControl;
+  });
+}
+
+std::string to_dot(const DependencyAnalyzer& deps, const engine::SystemLog& log,
+                   const std::vector<const wfspec::WorkflowSpec*>& spec_of_run) {
+  std::ostringstream out;
+  out << "digraph dependences {\n  rankdir=LR;\n";
+  for (const auto id : log.effective()) {
+    const auto& e = log.entry(id);
+    const auto* spec = spec_of_run.at(static_cast<std::size_t>(e.run));
+    out << "  i" << id << " [label=\"" << spec->task(e.task).name;
+    if (e.incarnation > 1) out << "^" << e.incarnation;
+    out << "\\nrun" << e.run << "\"";
+    if (e.kind == engine::ActionKind::kMalicious) {
+      out << ", style=filled, fillcolor=\"#ffb3b3\"";
+    }
+    out << "];\n";
+  }
+  for (const auto& edge : deps.edges()) {
+    const char* color = "black";
+    switch (edge.kind) {
+      case DepKind::kFlow: color = "blue"; break;
+      case DepKind::kAnti: color = "orange"; break;
+      case DepKind::kOutput: color = "purple"; break;
+      case DepKind::kControl: color = "gray"; break;
+    }
+    out << "  i" << edge.from << " -> i" << edge.to << " [color=" << color;
+    if (edge.object != wfspec::kInvalidObject && !spec_of_run.empty()) {
+      out << ", label=\"" << spec_of_run.front()->catalog().name(edge.object) << "\"";
+    } else if (edge.kind == DepKind::kControl) {
+      out << ", style=dashed";
+    }
+    out << "];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::vector<InstanceId> DependencyAnalyzer::controlled_by(InstanceId branch) const {
+  std::vector<InstanceId> result;
+  for (const auto idx : out_.at(static_cast<std::size_t>(branch))) {
+    const auto& e = edges_[idx];
+    if (e.kind == DepKind::kControl) result.push_back(e.to);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace selfheal::deps

@@ -1,0 +1,97 @@
+// Dependence relations among committed task instances (Section II.B-D).
+//
+// Precedence t_i < t_j is log order. Over that order we derive, per
+// Definition 1:
+//   * flow dependence   t_i ->_f t_j : t_j reads a data object whose
+//     LAST writer before t_j is t_i (writes between t_i and t_j mask the
+//     dependence -- the "union of intermediate writes" in the paper's
+//     formula is read as the overwrite mask, which is what damage
+//     propagation needs: reading an overwritten value cannot infect);
+//   * anti-flow         t_i ->_a t_j : t_j is the next writer of an
+//     object after t_i read it;
+//   * output            t_i ->_o t_j : t_j is the next writer of an
+//     object after t_i wrote it.
+// and, from the workflow specification (Section II.D):
+//   * control           t_i ->_c t_j : same run, task(t_i) is a branch
+//     node dominating task(t_j), task(t_j) avoidable. Edges are emitted
+//     from the most recent instance of each dominant node, and because
+//     dominant_nodes() walks the full dominator chain the emitted edges
+//     already realise the transitive relation ->_c*.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "selfheal/engine/system_log.hpp"
+#include "selfheal/wfspec/workflow_spec.hpp"
+
+namespace selfheal::deps {
+
+using engine::InstanceId;
+
+enum class DepKind : std::uint8_t { kFlow, kAnti, kOutput, kControl };
+
+[[nodiscard]] const char* to_string(DepKind kind);
+
+struct DepEdge {
+  InstanceId from = engine::kInvalidInstance;
+  InstanceId to = engine::kInvalidInstance;
+  DepKind kind = DepKind::kFlow;
+  /// The object carrying a data dependence; kInvalidObject for control.
+  wfspec::ObjectId object = wfspec::kInvalidObject;
+
+  bool operator==(const DepEdge&) const = default;
+};
+
+/// Builds the dependence graph over the EFFECTIVE execution of a system
+/// log (SystemLog::effective(): originals before any recovery, the
+/// repaired schedule afterwards). Construction is O(log size x accesses).
+class DependencyAnalyzer {
+ public:
+  DependencyAnalyzer(const engine::SystemLog& log,
+                     const std::vector<const wfspec::WorkflowSpec*>& spec_of_run);
+
+  [[nodiscard]] const std::vector<DepEdge>& edges() const noexcept { return edges_; }
+
+  /// Outgoing / incoming edges of an instance (indices into edges()).
+  [[nodiscard]] std::vector<DepEdge> edges_from(InstanceId i) const;
+  [[nodiscard]] std::vector<DepEdge> edges_to(InstanceId i) const;
+
+  [[nodiscard]] bool depends(InstanceId from, InstanceId to, DepKind kind) const;
+
+  /// Forward closure over flow edges from `seeds` -- the paper's
+  /// t_i ->_f^* t_j damage spreading (Theorem 1 condition 3). The result
+  /// contains the seeds and is sorted by instance id (= commit order).
+  [[nodiscard]] std::vector<InstanceId> flow_closure(
+      const std::vector<InstanceId>& seeds) const;
+
+  /// Forward closure over BOTH flow and control edges (used to bound the
+  /// set of instances recovery may touch at all).
+  [[nodiscard]] std::vector<InstanceId> flow_control_closure(
+      const std::vector<InstanceId>& seeds) const;
+
+  /// Instances control-dependent (transitively) on `branch`.
+  [[nodiscard]] std::vector<InstanceId> controlled_by(InstanceId branch) const;
+
+  [[nodiscard]] std::size_t instance_count() const noexcept {
+    return out_.size();
+  }
+
+ private:
+  template <typename Filter>
+  [[nodiscard]] std::vector<InstanceId> closure(const std::vector<InstanceId>& seeds,
+                                                Filter keep) const;
+
+  std::vector<DepEdge> edges_;
+  std::vector<std::vector<std::size_t>> out_;  // per instance: edge indices
+  std::vector<std::vector<std::size_t>> in_;
+};
+
+/// Graphviz rendering of the dependence graph over the effective
+/// execution: nodes are task instances (malicious ones highlighted),
+/// edges coloured by kind and labelled with the carrying object.
+[[nodiscard]] std::string to_dot(
+    const DependencyAnalyzer& deps, const engine::SystemLog& log,
+    const std::vector<const wfspec::WorkflowSpec*>& spec_of_run);
+
+}  // namespace selfheal::deps

@@ -1,0 +1,311 @@
+#include "selfheal/engine/engine.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace selfheal::engine {
+
+Engine::Engine(EngineConfig config) : config_(config), rng_(config.seed) {}
+
+void Engine::set_schedule(std::vector<RunId> schedule) {
+  schedule_ = std::move(schedule);
+  schedule_cursor_ = 0;
+}
+
+RunId Engine::start_run(const wfspec::WorkflowSpec& spec) {
+  if (!spec.validated()) {
+    throw std::logic_error("Engine::start_run: spec '" + spec.name() +
+                           "' not validated");
+  }
+  Run run;
+  run.spec = &spec;
+  run.pc = spec.start();
+  run.active = true;
+  runs_.push_back(std::move(run));
+  return static_cast<RunId>(runs_.size() - 1);
+}
+
+void Engine::inject_malicious(RunId run, wfspec::TaskId task, int incarnation) {
+  auto& r = runs_.at(static_cast<std::size_t>(run));
+  const int done = r.visits.count(task) ? r.visits.at(task) : 0;
+  if (done >= incarnation) {
+    throw std::logic_error("inject_malicious: instance already executed");
+  }
+  r.malicious.emplace(task, incarnation);
+}
+
+bool Engine::step() {
+  // Collect active runs.
+  std::vector<std::size_t> active;
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    if (runs_[i].active) active.push_back(i);
+  }
+  if (active.empty()) return false;
+
+  std::size_t pick;
+  bool picked = false;
+  if (config_.interleave == Interleave::kExplicit) {
+    // Consume schedule slots, skipping completed runs.
+    while (schedule_cursor_ < schedule_.size()) {
+      const auto candidate = schedule_[schedule_cursor_++];
+      if (candidate >= 0 && static_cast<std::size_t>(candidate) < runs_.size() &&
+          runs_[static_cast<std::size_t>(candidate)].active) {
+        pick = static_cast<std::size_t>(candidate);
+        picked = true;
+        break;
+      }
+    }
+  }
+  if (picked) {
+    // fall through to execution below
+  } else if (config_.interleave == Interleave::kRandom) {
+    pick = active[rng_.index_into(active)];
+  } else {
+    // Round-robin: next active run at or after the cursor.
+    pick = active[0];
+    for (const std::size_t i : active) {
+      if (i >= rr_cursor_) {
+        pick = i;
+        break;
+      }
+    }
+    rr_cursor_ = pick + 1;
+    if (rr_cursor_ >= runs_.size()) rr_cursor_ = 0;
+  }
+
+  advance(pick);
+  return true;
+}
+
+bool Engine::step_run(RunId run) {
+  if (run < 0 || static_cast<std::size_t>(run) >= runs_.size() ||
+      !runs_[static_cast<std::size_t>(run)].active) {
+    return false;
+  }
+  advance(static_cast<std::size_t>(run));
+  return true;
+}
+
+void Engine::advance(std::size_t pick) {
+  Run& run = runs_[pick];
+  const wfspec::TaskId task = run.pc;
+  const int incarnation = run.visits[task] + 1;
+  if (incarnation > config_.max_incarnations) {
+    throw std::runtime_error("Engine: task " + run.spec->task(task).name +
+                             " exceeded max incarnations (cyclic workflow?)");
+  }
+  run.visits[task] = incarnation;
+
+  const bool malicious = run.malicious.count({task, incarnation}) > 0;
+  const auto id = execute(static_cast<RunId>(pick), task, incarnation,
+                          malicious ? ActionKind::kMalicious : ActionKind::kNormal,
+                          kInvalidInstance, /*logical_slot=*/0);
+
+  // Advance the program counter along the (possibly chosen) successor.
+  const auto& committed = log_.entry(id);
+  if (committed.chosen_successor) {
+    run.pc = *committed.chosen_successor;
+  } else if (run.spec->graph().out_degree(task) == 1) {
+    run.pc = run.spec->graph().successors(task)[0];
+  } else {
+    run.active = false;  // end node reached
+  }
+}
+
+void Engine::run_all() {
+  while (step()) {
+  }
+}
+
+bool Engine::run_active(RunId run) const {
+  return runs_.at(static_cast<std::size_t>(run)).active;
+}
+
+std::size_t Engine::active_runs() const {
+  std::size_t n = 0;
+  for (const auto& r : runs_) {
+    if (r.active) ++n;
+  }
+  return n;
+}
+
+const wfspec::WorkflowSpec& Engine::spec_of(RunId run) const {
+  return *runs_.at(static_cast<std::size_t>(run)).spec;
+}
+
+std::vector<const wfspec::WorkflowSpec*> Engine::specs_by_run() const {
+  std::vector<const wfspec::WorkflowSpec*> result;
+  result.reserve(runs_.size());
+  for (const auto& r : runs_) result.push_back(r.spec);
+  return result;
+}
+
+InstanceId Engine::execute(RunId run_id, wfspec::TaskId task, int incarnation,
+                           ActionKind kind, InstanceId target, SeqNo logical_slot,
+                           const std::vector<Value>* read_override) {
+  const Run& run = runs_.at(static_cast<std::size_t>(run_id));
+  const auto& spec = *run.spec;
+  const auto& task_spec = spec.task(task);
+  const bool malicious = kind == ActionKind::kMalicious;
+
+  TaskInstance entry;
+  entry.run = run_id;
+  entry.task = task;
+  entry.incarnation = incarnation;
+  entry.kind = kind;
+  entry.target = target;
+  entry.logical_slot = logical_slot;
+
+  // Read phase.
+  entry.read_objects = task_spec.reads;
+  if (read_override != nullptr) {
+    if (read_override->size() != task_spec.reads.size()) {
+      throw std::invalid_argument("Engine::execute: read override size mismatch");
+    }
+    entry.read_values = *read_override;
+  } else {
+    entry.read_values.reserve(task_spec.reads.size());
+    for (const auto object : task_spec.reads) {
+      entry.read_values.push_back(store_.read(object));
+    }
+  }
+
+  // Compute phase.
+  const auto seed = task_seed(spec.name(), task_spec.name);
+  entry.written_objects = task_spec.writes;
+  entry.written_values.reserve(task_spec.writes.size());
+  for (const auto object : task_spec.writes) {
+    Value out = compute_output(seed, object, incarnation, entry.read_values);
+    if (malicious) out = corrupt(out);
+    entry.written_values.push_back(out);
+  }
+
+  // Branch decision from the selector object's (possibly corrupted) value.
+  if (spec.is_branch(task)) {
+    const auto selector = *task_spec.selector;
+    Value sel_value = 0;
+    for (std::size_t i = 0; i < entry.read_objects.size(); ++i) {
+      if (entry.read_objects[i] == selector) sel_value = entry.read_values[i];
+    }
+    if (malicious) sel_value = corrupt(sel_value);
+    const auto& succ = spec.graph().successors(task);
+    entry.chosen_successor = succ[choose_branch(sel_value, succ.size())];
+  }
+
+  // Commit phase: write the store, then append to the log.
+  const SeqNo seq = next_seq();
+  const auto id = static_cast<InstanceId>(log_.size());
+  for (std::size_t i = 0; i < entry.written_objects.size(); ++i) {
+    store_.write(entry.written_objects[i], entry.written_values[i], seq, id);
+  }
+  return log_.append(std::move(entry));
+}
+
+InstanceId Engine::apply_undo(InstanceId target,
+                              const VersionedStore::WriterFilter& skip_writer) {
+  const auto& victim = log_.entry(target);
+  if (victim.kind == ActionKind::kUndo || victim.kind == ActionKind::kRepair) {
+    throw std::logic_error("apply_undo: target is not an execution entry");
+  }
+
+  TaskInstance entry;
+  entry.run = victim.run;
+  entry.task = victim.task;
+  entry.incarnation = victim.incarnation;
+  entry.kind = ActionKind::kUndo;
+  entry.target = target;
+  entry.logical_slot = victim.logical_slot;
+
+  const SeqNo seq = next_seq();
+  const auto id = static_cast<InstanceId>(log_.size());
+  for (const auto object : victim.written_objects) {
+    entry.written_objects.push_back(object);
+    entry.written_values.push_back(
+        store_.restore_before(object, victim.seq, seq, id, skip_writer));
+  }
+  return log_.append(std::move(entry));
+}
+
+InstanceId Engine::apply_redo(InstanceId target, SeqNo logical_slot,
+                              const std::vector<Value>* read_values) {
+  const auto& victim = log_.entry(target);
+  return execute(victim.run, victim.task, victim.incarnation, ActionKind::kRedo,
+                 target, logical_slot > 0 ? logical_slot : victim.logical_slot,
+                 read_values);
+}
+
+InstanceId Engine::apply_fresh(RunId run, wfspec::TaskId task, int incarnation,
+                               SeqNo logical_slot,
+                               const std::vector<Value>* read_values) {
+  return execute(run, task, incarnation, ActionKind::kFresh, kInvalidInstance,
+                 logical_slot, read_values);
+}
+
+InstanceId Engine::apply_repair(
+    const std::vector<std::pair<wfspec::ObjectId, Value>>& fixes) {
+  TaskInstance entry;
+  entry.kind = ActionKind::kRepair;
+  const SeqNo seq = next_seq();
+  const auto id = static_cast<InstanceId>(log_.size());
+  for (const auto& [object, value] : fixes) {
+    entry.written_objects.push_back(object);
+    entry.written_values.push_back(value);
+    store_.write(object, value, seq, id);
+  }
+  return log_.append(std::move(entry));
+}
+
+Engine::RunSnapshot Engine::run_snapshot(RunId run_id) const {
+  const Run& run = runs_.at(static_cast<std::size_t>(run_id));
+  RunSnapshot snapshot;
+  snapshot.pc = run.active ? run.pc : wfspec::kInvalidTask;
+  snapshot.active = run.active;
+  snapshot.visits = run.visits;
+  for (const auto& [task, inc] : run.malicious) {
+    // Only injections that have not fired yet are still pending; fired
+    // ones live on in the log as kMalicious entries.
+    const auto it = run.visits.find(task);
+    const int done = it == run.visits.end() ? 0 : it->second;
+    if (inc > done) snapshot.pending_malicious.emplace_back(task, inc);
+  }
+  return snapshot;
+}
+
+void Engine::import_entry(TaskInstance entry) {
+  for (std::size_t i = 0; i < entry.written_objects.size(); ++i) {
+    store_.write(entry.written_objects[i], entry.written_values[i], entry.seq,
+                 entry.id);
+  }
+  log_.restore_entry(std::move(entry));
+}
+
+std::optional<wfspec::TaskId> Engine::peek_next_task(RunId run_id) const {
+  const Run& run = runs_.at(static_cast<std::size_t>(run_id));
+  if (!run.active) return std::nullopt;
+  return run.pc;
+}
+
+void Engine::resume_run(RunId run_id, wfspec::TaskId pc,
+                        const std::map<wfspec::TaskId, int>& visits) {
+  Run& run = runs_.at(static_cast<std::size_t>(run_id));
+  run.visits = visits;
+  if (pc == wfspec::kInvalidTask) {
+    run.active = false;
+  } else {
+    run.pc = pc;
+    run.active = true;
+  }
+}
+
+std::optional<wfspec::TaskId> Engine::peek_choice(RunId run_id,
+                                                  wfspec::TaskId task) const {
+  const Run& run = runs_.at(static_cast<std::size_t>(run_id));
+  const auto& spec = *run.spec;
+  if (!spec.is_branch(task)) return std::nullopt;
+  const auto selector = *spec.task(task).selector;
+  const Value sel_value = store_.read(selector);
+  const auto& succ = spec.graph().successors(task);
+  return succ[choose_branch(sel_value, succ.size())];
+}
+
+}  // namespace selfheal::engine

@@ -1,0 +1,188 @@
+// The workflow execution engine.
+//
+// Executes any number of workflow runs (instances of WorkflowSpecs over
+// a shared object catalog) with interleaved commits, producing the
+// system log and the versioned store that the recovery subsystem
+// operates on. Attack injection marks (run, task, incarnation) triples
+// whose execution is corrupted, modelling the paper's malicious tasks.
+//
+// The engine also exposes the primitive recovery actions -- undo
+// (version restore) and redo / fresh execution -- which the recovery
+// scheduler composes according to Theorems 1-4. Each primitive commits
+// to the same system log.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "selfheal/engine/system_log.hpp"
+#include "selfheal/engine/value.hpp"
+#include "selfheal/engine/versioned_store.hpp"
+#include "selfheal/util/rng.hpp"
+#include "selfheal/wfspec/workflow_spec.hpp"
+
+namespace selfheal::engine {
+
+/// How ready tasks from concurrent runs are interleaved in commit order.
+enum class Interleave {
+  kRoundRobin,  // deterministic rotation over active runs (default)
+  kRandom,      // seeded random pick among active runs
+  kExplicit,    // follow set_schedule(), then fall back to round-robin
+};
+
+struct EngineConfig {
+  Interleave interleave = Interleave::kRoundRobin;
+  std::uint64_t seed = 0x5e1f4ea1dead5eedULL;  // for kRandom interleaving
+  /// Safety bound on loop unrolling: max incarnations of one task per run.
+  int max_incarnations = 64;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config = {});
+
+  /// Registers a run of `spec` (which must be validated and outlive the
+  /// engine). The run becomes active at its start node.
+  RunId start_run(const wfspec::WorkflowSpec& spec);
+
+  /// Marks the given (task, incarnation) of a run for malicious
+  /// execution: its outputs (and branch choice) will be corrupted.
+  /// Must be called before the task executes.
+  void inject_malicious(RunId run, wfspec::TaskId task, int incarnation = 1);
+
+  /// For Interleave::kExplicit: the run to advance at each commit slot.
+  /// Slots whose run is complete are skipped; once the schedule is
+  /// exhausted, execution falls back to round-robin. Used by the
+  /// correctness oracle to replay the commit slots of an attacked
+  /// execution benignly.
+  void set_schedule(std::vector<RunId> schedule);
+
+  /// Executes the next ready task of some active run. Returns false when
+  /// no run is active.
+  bool step();
+
+  /// Executes the next ready task of a SPECIFIC run; false if that run
+  /// is not active. Used by drivers that impose their own interleaving
+  /// (the correctness oracle replays the recovery schedule this way).
+  bool step_run(RunId run);
+
+  /// Runs every active run to completion.
+  void run_all();
+
+  [[nodiscard]] bool run_active(RunId run) const;
+  [[nodiscard]] std::size_t active_runs() const;
+  [[nodiscard]] std::size_t run_count() const noexcept { return runs_.size(); }
+  [[nodiscard]] const wfspec::WorkflowSpec& spec_of(RunId run) const;
+  [[nodiscard]] std::vector<const wfspec::WorkflowSpec*> specs_by_run() const;
+
+  [[nodiscard]] const SystemLog& log() const noexcept { return log_; }
+  [[nodiscard]] const VersionedStore& store() const noexcept { return store_; }
+
+  // --- Recovery primitives (used by recovery::RecoveryScheduler) ---
+
+  /// Undoes `target` (an execution entry): restores each object it wrote
+  /// to the version current just before its commit, skipping versions
+  /// written by instances `skip_writer` accepts (already-undone writers,
+  /// realising Theorem 3 rule 5's intent independently of undo commit
+  /// order). Appends a kUndo entry and returns its id.
+  InstanceId apply_undo(InstanceId target,
+                        const VersionedStore::WriterFilter& skip_writer = nullptr);
+
+  /// Re-executes the task of `target`, appending a kRedo entry (with
+  /// target linkage). The redo occupies `logical_slot` if given (>0),
+  /// else inherits the target's slot. When `read_values` is non-null it
+  /// supplies the values the redo reads (in read-set order) -- the
+  /// recovery scheduler passes its clean-timeline values, which is how
+  /// this implementation realises Theorem 3's guarantee that a redo
+  /// never reads data "from the future" of the repaired schedule.
+  /// Without it the redo reads the current store. Returns the redo id;
+  /// the entry's chosen_successor reflects the new branch decision.
+  InstanceId apply_redo(InstanceId target, SeqNo logical_slot = 0,
+                        const std::vector<Value>* read_values = nullptr);
+
+  /// Executes (run, task, incarnation) for the first time during
+  /// recovery (the task joined the execution path after a branch redo).
+  /// `logical_slot` is the schedule slot the execution occupies;
+  /// `read_values` as in apply_redo.
+  InstanceId apply_fresh(RunId run, wfspec::TaskId task, int incarnation,
+                         SeqNo logical_slot,
+                         const std::vector<Value>* read_values = nullptr);
+
+  /// Appends one kRepair entry writing the given (object, value) pairs:
+  /// the scheduler's final masked-write reconciliation.
+  InstanceId apply_repair(
+      const std::vector<std::pair<wfspec::ObjectId, Value>>& fixes);
+
+  /// The branch successor `task` would choose given current store
+  /// contents (without committing anything).
+  [[nodiscard]] std::optional<wfspec::TaskId> peek_choice(RunId run,
+                                                          wfspec::TaskId task) const;
+
+  /// The task an active run would execute next; nullopt if complete.
+  [[nodiscard]] std::optional<wfspec::TaskId> peek_next_task(RunId run) const;
+
+  /// Rewrites an in-flight run's control state after recovery moved it to
+  /// a different execution path: the next task to execute and the visit
+  /// counters along the repaired path. Passing pc == kInvalidTask marks
+  /// the run complete.
+  void resume_run(RunId run, wfspec::TaskId pc,
+                  const std::map<wfspec::TaskId, int>& visits);
+
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+
+  // --- Snapshot / restore support (see engine/session_io.hpp) ---
+
+  /// A run's control state, for persistence.
+  struct RunSnapshot {
+    wfspec::TaskId pc = wfspec::kInvalidTask;
+    bool active = false;
+    std::map<wfspec::TaskId, int> visits;
+    std::vector<std::pair<wfspec::TaskId, int>> pending_malicious;
+  };
+  [[nodiscard]] RunSnapshot run_snapshot(RunId run) const;
+
+  /// Re-appends a persisted log entry: applies its writes to the store
+  /// and restores it into the log verbatim. Entries must be imported in
+  /// their original order (ids/seqs must line up). Does not touch run
+  /// control state -- restore that afterwards via resume_run and
+  /// inject_malicious.
+  void import_entry(TaskInstance entry);
+
+ private:
+  struct Run {
+    const wfspec::WorkflowSpec* spec = nullptr;
+    wfspec::TaskId pc = wfspec::kInvalidTask;  // next task to execute
+    bool active = false;
+    std::map<wfspec::TaskId, int> visits;      // incarnation counters
+    std::set<std::pair<wfspec::TaskId, int>> malicious;
+  };
+
+  /// Executes one task instance and commits it. Shared by normal
+  /// execution, redo, and fresh execution. logical_slot == 0 means
+  /// "assign the commit seq" (normal execution). read_override, if
+  /// non-null, replaces store reads (recovery clean-timeline values).
+  InstanceId execute(RunId run, wfspec::TaskId task, int incarnation,
+                     ActionKind kind, InstanceId target, SeqNo logical_slot,
+                     const std::vector<Value>* read_override = nullptr);
+
+  /// Executes the next task of runs_[pick] and advances its cursor.
+  void advance(std::size_t pick);
+
+  [[nodiscard]] SeqNo next_seq() const {
+    return static_cast<SeqNo>(log_.size()) + 1;
+  }
+
+  EngineConfig config_;
+  util::Rng rng_;
+  std::vector<Run> runs_;
+  SystemLog log_;
+  VersionedStore store_;
+  std::size_t rr_cursor_ = 0;  // round-robin position
+  std::vector<RunId> schedule_;
+  std::size_t schedule_cursor_ = 0;
+};
+
+}  // namespace selfheal::engine

@@ -1,0 +1,307 @@
+#include "selfheal/engine/session_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "selfheal/wfspec/parser.hpp"
+
+namespace selfheal::engine {
+
+namespace {
+
+constexpr const char* kMagic = "selfheal-session";
+constexpr int kVersion = 1;
+
+int kind_code(ActionKind kind) { return static_cast<int>(kind); }
+
+ActionKind kind_from(int code) {
+  switch (code) {
+    case 0: return ActionKind::kNormal;
+    case 1: return ActionKind::kMalicious;
+    case 2: return ActionKind::kUndo;
+    case 3: return ActionKind::kRedo;
+    case 4: return ActionKind::kFresh;
+    case 5: return ActionKind::kRepair;
+  }
+  throw std::invalid_argument("session: unknown action kind " + std::to_string(code));
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& message) {
+  throw std::invalid_argument("session line " + std::to_string(line_no) + ": " +
+                              message);
+}
+
+}  // namespace
+
+void save_session(const Engine& engine, std::ostream& out) {
+  out << kMagic << " " << kVersion << "\n";
+  const auto& config = engine.config();
+  out << "config " << static_cast<int>(config.interleave) << " " << config.seed
+      << " " << config.max_incarnations << "\n";
+
+  // Catalog (in id order, so reload reproduces the ids). Every spec
+  // shares one catalog; reach it through any run's spec, or skip if the
+  // engine has no runs (nothing to serialise then anyway).
+  const auto specs_by_run = engine.specs_by_run();
+  const wfspec::ObjectCatalog* catalog =
+      specs_by_run.empty() ? nullptr : &specs_by_run.front()->catalog();
+  out << "catalog " << (catalog ? catalog->size() : 0) << "\n";
+  if (catalog != nullptr) {
+    for (std::size_t o = 0; o < catalog->size(); ++o) {
+      out << "obj " << o << " " << catalog->name(static_cast<wfspec::ObjectId>(o))
+          << "\n";
+    }
+  }
+
+  // Unique specs, in order of first use by a run.
+  std::vector<const wfspec::WorkflowSpec*> unique_specs;
+  std::map<const wfspec::WorkflowSpec*, std::size_t> spec_index;
+  for (const auto* spec : specs_by_run) {
+    if (spec_index.emplace(spec, unique_specs.size()).second) {
+      unique_specs.push_back(spec);
+    }
+  }
+  out << "specs " << unique_specs.size() << "\n";
+  for (const auto* spec : unique_specs) {
+    out << "spec-begin\n" << wfspec::to_dsl(*spec) << "spec-end\n";
+  }
+
+  // Runs with control state.
+  out << "runs " << engine.run_count() << "\n";
+  for (std::size_t r = 0; r < engine.run_count(); ++r) {
+    const auto run = static_cast<RunId>(r);
+    const auto snapshot = engine.run_snapshot(run);
+    out << "run " << spec_index.at(specs_by_run[r]) << " "
+        << (snapshot.active ? 1 : 0) << " " << snapshot.pc << " visits";
+    for (const auto& [task, count] : snapshot.visits) {
+      out << " " << task << ":" << count;
+    }
+    out << "\n";
+    for (const auto& [task, inc] : snapshot.pending_malicious) {
+      out << "inject " << r << " " << task << " " << inc << "\n";
+    }
+  }
+
+  // The system log.
+  out << "log " << engine.log().size() << "\n";
+  for (const auto& e : engine.log().entries()) {
+    out << "entry " << e.id << " " << e.run << " " << e.task << " "
+        << e.incarnation << " " << kind_code(e.kind) << " " << e.seq << " "
+        << e.logical_slot << " " << e.target << " R";
+    for (std::size_t i = 0; i < e.read_objects.size(); ++i) {
+      out << " " << e.read_objects[i] << ":" << e.read_values[i];
+    }
+    out << " W";
+    for (std::size_t i = 0; i < e.written_objects.size(); ++i) {
+      out << " " << e.written_objects[i] << ":" << e.written_values[i];
+    }
+    out << " C " << (e.chosen_successor ? *e.chosen_successor : wfspec::kInvalidTask)
+        << "\n";
+  }
+  out << "end\n";
+}
+
+void save_session_file(const Engine& engine, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_session_file: cannot open " + path);
+  save_session(engine, out);
+}
+
+Session load_session(std::istream& in) {
+  Session session;
+  session.catalog = std::make_unique<wfspec::ObjectCatalog>();
+
+  std::string line;
+  std::size_t line_no = 0;
+  auto next_line = [&]() -> std::istringstream {
+    if (!std::getline(in, line)) fail(line_no, "unexpected end of session");
+    ++line_no;
+    return std::istringstream(line);
+  };
+
+  {
+    auto header = next_line();
+    std::string magic;
+    int version = 0;
+    header >> magic >> version;
+    if (magic != kMagic || version != kVersion) fail(line_no, "bad header");
+  }
+
+  EngineConfig config;
+  {
+    auto ln = next_line();
+    std::string keyword;
+    int interleave = 0;
+    ln >> keyword >> interleave >> config.seed >> config.max_incarnations;
+    if (keyword != "config") fail(line_no, "expected config");
+    config.interleave = static_cast<Interleave>(interleave);
+  }
+
+  {
+    auto ln = next_line();
+    std::string keyword;
+    std::size_t count = 0;
+    ln >> keyword >> count;
+    if (keyword != "catalog") fail(line_no, "expected catalog");
+    for (std::size_t i = 0; i < count; ++i) {
+      auto obj_line = next_line();
+      std::string obj_keyword, name;
+      wfspec::ObjectId id;
+      obj_line >> obj_keyword >> id >> name;
+      if (obj_keyword != "obj" || name.empty()) fail(line_no, "bad obj line");
+      if (session.catalog->intern(name) != id) {
+        fail(line_no, "catalog ids out of order");
+      }
+    }
+  }
+
+  {
+    auto ln = next_line();
+    std::string keyword;
+    std::size_t count = 0;
+    ln >> keyword >> count;
+    if (keyword != "specs") fail(line_no, "expected specs");
+    for (std::size_t s = 0; s < count; ++s) {
+      auto begin = next_line();
+      std::string keyword2;
+      begin >> keyword2;
+      if (keyword2 != "spec-begin") fail(line_no, "expected spec-begin");
+      std::ostringstream dsl;
+      while (true) {
+        (void)next_line();  // refreshes `line`
+        if (line == "spec-end") break;
+        dsl << line << "\n";
+      }
+      session.specs.push_back(std::make_unique<wfspec::WorkflowSpec>(
+          wfspec::parse_workflow(dsl.str(), *session.catalog)));
+    }
+  }
+
+  session.engine = std::make_unique<Engine>(config);
+  struct PendingRun {
+    Engine::RunSnapshot snapshot;
+  };
+  std::vector<PendingRun> pending;
+  {
+    auto ln = next_line();
+    std::string keyword;
+    std::size_t count = 0;
+    ln >> keyword >> count;
+    if (keyword != "runs") fail(line_no, "expected runs");
+    for (std::size_t r = 0; r < count;) {
+      auto run_line = next_line();
+      std::string keyword2;
+      run_line >> keyword2;
+      if (keyword2 == "inject") {
+        RunId run;
+        wfspec::TaskId task;
+        int inc;
+        run_line >> run >> task >> inc;
+        pending.at(static_cast<std::size_t>(run))
+            .snapshot.pending_malicious.emplace_back(task, inc);
+        continue;
+      }
+      if (keyword2 != "run") fail(line_no, "expected run");
+      std::size_t spec_idx;
+      int active;
+      PendingRun p;
+      run_line >> spec_idx >> active >> p.snapshot.pc;
+      p.snapshot.active = active != 0;
+      std::string visits_kw;
+      run_line >> visits_kw;
+      if (visits_kw != "visits") fail(line_no, "expected visits");
+      std::string pair;
+      while (run_line >> pair) {
+        const auto colon = pair.find(':');
+        if (colon == std::string::npos) fail(line_no, "bad visits pair");
+        p.snapshot.visits[static_cast<wfspec::TaskId>(
+            std::stol(pair.substr(0, colon)))] = std::stoi(pair.substr(colon + 1));
+      }
+      session.engine->start_run(*session.specs.at(spec_idx));
+      pending.push_back(std::move(p));
+      ++r;
+    }
+    // Trailing injects of the last run.
+    // (handled in-loop above via the `continue` branch)
+  }
+
+  {
+    auto ln = next_line();
+    std::string keyword;
+    std::size_t count = 0;
+    // Injects may appear between "runs" and "log"; absorb them.
+    ln >> keyword;
+    while (keyword == "inject") {
+      RunId run;
+      wfspec::TaskId task;
+      int inc;
+      ln >> run >> task >> inc;
+      pending.at(static_cast<std::size_t>(run))
+          .snapshot.pending_malicious.emplace_back(task, inc);
+      ln = next_line();
+      ln >> keyword;
+    }
+    if (keyword != "log") fail(line_no, "expected log");
+    ln >> count;
+    for (std::size_t i = 0; i < count; ++i) {
+      auto entry_line = next_line();
+      std::string keyword2, marker;
+      TaskInstance e;
+      int kind;
+      entry_line >> keyword2 >> e.id >> e.run >> e.task >> e.incarnation >> kind >>
+          e.seq >> e.logical_slot >> e.target;
+      if (keyword2 != "entry") fail(line_no, "expected entry");
+      e.kind = kind_from(kind);
+      entry_line >> marker;
+      if (marker != "R") fail(line_no, "expected R section");
+      std::string token;
+      while (entry_line >> token && token != "W") {
+        const auto colon = token.find(':');
+        if (colon == std::string::npos) fail(line_no, "bad read pair");
+        e.read_objects.push_back(
+            static_cast<wfspec::ObjectId>(std::stol(token.substr(0, colon))));
+        e.read_values.push_back(std::stoll(token.substr(colon + 1)));
+      }
+      while (entry_line >> token && token != "C") {
+        const auto colon = token.find(':');
+        if (colon == std::string::npos) fail(line_no, "bad write pair");
+        e.written_objects.push_back(
+            static_cast<wfspec::ObjectId>(std::stol(token.substr(0, colon))));
+        e.written_values.push_back(std::stoll(token.substr(colon + 1)));
+      }
+      wfspec::TaskId chosen;
+      entry_line >> chosen;
+      if (chosen != wfspec::kInvalidTask) e.chosen_successor = chosen;
+      session.engine->import_entry(std::move(e));
+    }
+  }
+
+  {
+    auto ln = next_line();
+    std::string keyword;
+    ln >> keyword;
+    if (keyword != "end") fail(line_no, "expected end");
+  }
+
+  // Finally restore run control state and pending injections.
+  for (std::size_t r = 0; r < pending.size(); ++r) {
+    const auto run = static_cast<RunId>(r);
+    const auto& snapshot = pending[r].snapshot;
+    session.engine->resume_run(run, snapshot.active ? snapshot.pc : wfspec::kInvalidTask,
+                               snapshot.visits);
+    for (const auto& [task, inc] : snapshot.pending_malicious) {
+      session.engine->inject_malicious(run, task, inc);
+    }
+  }
+  return session;
+}
+
+Session load_session_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_session_file: cannot open " + path);
+  return load_session(in);
+}
+
+}  // namespace selfheal::engine

@@ -1,0 +1,42 @@
+// Session persistence.
+//
+// The paper's recovery operates on durable artifacts: the workflow
+// specifications and the system log ("the system log ... exists in all
+// workflow management systems", Section IV.B). This module makes that
+// concrete: a Session (catalog + specs + engine) can be saved as a
+// line-oriented text file and reloaded into an equivalent engine --
+// including after a crash mid-workflow -- and recovery runs on the
+// reloaded engine exactly as on the original. The versioned store is
+// not serialised: it is reconstructed by re-applying the log's writes.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "selfheal/engine/engine.hpp"
+#include "selfheal/wfspec/workflow_spec.hpp"
+
+namespace selfheal::engine {
+
+/// An engine together with the objects it depends on (the engine holds
+/// pointers into catalog/specs, so the three live and move together).
+struct Session {
+  std::unique_ptr<wfspec::ObjectCatalog> catalog;
+  std::vector<std::unique_ptr<wfspec::WorkflowSpec>> specs;
+  std::unique_ptr<Engine> engine;
+};
+
+/// Serialises the engine state: config, catalog, workflow DSL, runs
+/// (with control state), pending malicious injections, and the log.
+void save_session(const Engine& engine, std::ostream& out);
+void save_session_file(const Engine& engine, const std::string& path);
+
+/// Reconstructs a session from a stream produced by save_session.
+/// Throws std::invalid_argument with a line-numbered message on
+/// malformed input.
+[[nodiscard]] Session load_session(std::istream& in);
+[[nodiscard]] Session load_session_file(const std::string& path);
+
+}  // namespace selfheal::engine

@@ -1,0 +1,179 @@
+#include "selfheal/engine/system_log.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace selfheal::engine {
+
+const char* to_string(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kNormal: return "normal";
+    case ActionKind::kMalicious: return "malicious";
+    case ActionKind::kUndo: return "undo";
+    case ActionKind::kRedo: return "redo";
+    case ActionKind::kFresh: return "fresh";
+    case ActionKind::kRepair: return "repair";
+  }
+  return "?";
+}
+
+InstanceId SystemLog::append(TaskInstance entry) {
+  entry.id = static_cast<InstanceId>(entries_.size());
+  entry.seq = static_cast<SeqNo>(entries_.size()) + 1;  // seq 0 = initial store
+  // Fresh slots are handed out from a globally monotone counter: work
+  // committed after a recovery round sorts after the slots that round
+  // stamped (which may be far above the raw commit sequence).
+  if (entry.logical_slot == 0) entry.logical_slot = next_slot_;
+  next_slot_ = std::max(next_slot_, entry.logical_slot + 1);
+  entries_.push_back(std::move(entry));
+  return entries_.back().id;
+}
+
+void SystemLog::restore_entry(TaskInstance entry) {
+  if (entry.id != static_cast<InstanceId>(entries_.size()) ||
+      entry.seq != static_cast<SeqNo>(entries_.size()) + 1) {
+    throw std::invalid_argument("SystemLog::restore_entry: out-of-order entry");
+  }
+  next_slot_ = std::max(next_slot_, entry.logical_slot + 1);
+  entries_.push_back(std::move(entry));
+}
+
+const TaskInstance& SystemLog::entry(InstanceId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= entries_.size()) {
+    throw std::out_of_range("SystemLog: invalid instance id " + std::to_string(id));
+  }
+  return entries_[static_cast<std::size_t>(id)];
+}
+
+std::vector<InstanceId> SystemLog::trace(RunId run) const {
+  std::vector<InstanceId> result;
+  for (const auto& e : entries_) {
+    if (e.run == run && e.is_original()) result.push_back(e.id);
+  }
+  return result;
+}
+
+std::vector<InstanceId> SystemLog::trace_successors(InstanceId instance) const {
+  const auto& base = entry(instance);
+  std::vector<InstanceId> result;
+  for (std::size_t i = static_cast<std::size_t>(instance) + 1; i < entries_.size();
+       ++i) {
+    const auto& e = entries_[i];
+    if (e.run == base.run && e.is_original()) result.push_back(e.id);
+  }
+  return result;
+}
+
+std::optional<InstanceId> SystemLog::find_original(RunId run, wfspec::TaskId task,
+                                                   int incarnation) const {
+  for (const auto& e : entries_) {
+    if (e.run == run && e.task == task && e.incarnation == incarnation &&
+        e.is_original()) {
+      return e.id;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<InstanceId> SystemLog::originals() const {
+  std::vector<InstanceId> result;
+  for (const auto& e : entries_) {
+    if (e.is_original()) result.push_back(e.id);
+  }
+  return result;
+}
+
+namespace {
+bool is_execution(ActionKind kind) {
+  return kind == ActionKind::kNormal || kind == ActionKind::kMalicious ||
+         kind == ActionKind::kRedo || kind == ActionKind::kFresh;
+}
+}  // namespace
+
+std::optional<InstanceId> SystemLog::find_latest_execution(RunId run,
+                                                           wfspec::TaskId task,
+                                                           int incarnation) const {
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->run == run && it->task == task && it->incarnation == incarnation &&
+        is_execution(it->kind)) {
+      return it->id;
+    }
+  }
+  return std::nullopt;
+}
+
+bool SystemLog::currently_undone(InstanceId execution) const {
+  const auto& base = entry(execution);
+  // The LATEST undo-or-execution entry for the triple decides its state.
+  for (std::size_t i = entries_.size(); i-- > static_cast<std::size_t>(execution) + 1;) {
+    const auto& e = entries_[i];
+    if (e.run != base.run || e.task != base.task || e.incarnation != base.incarnation) {
+      continue;
+    }
+    if (e.kind == ActionKind::kUndo) return true;
+    if (is_execution(e.kind)) return false;  // a later execution supersedes
+  }
+  return false;
+}
+
+std::vector<InstanceId> SystemLog::effective() const {
+  // Latest state per (run, task, incarnation), single backward sweep.
+  struct Key {
+    RunId run;
+    wfspec::TaskId task;
+    int incarnation;
+    auto operator<=>(const Key&) const = default;
+  };
+  std::map<Key, InstanceId> latest;  // kInvalidInstance marks "undone"
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    const Key key{it->run, it->task, it->incarnation};
+    if (latest.count(key)) continue;  // a later entry already decided it
+    if (it->kind == ActionKind::kUndo) {
+      latest[key] = kInvalidInstance;
+    } else if (is_execution(it->kind)) {
+      latest[key] = it->id;
+    }
+    // kRepair entries carry no (run, task) identity of interest.
+  }
+  std::vector<InstanceId> result;
+  for (const auto& [key, id] : latest) {
+    if (id != kInvalidInstance) result.push_back(id);
+  }
+  std::sort(result.begin(), result.end(), [this](InstanceId a, InstanceId b) {
+    const auto& ea = entry(a);
+    const auto& eb = entry(b);
+    if (ea.logical_slot != eb.logical_slot) return ea.logical_slot < eb.logical_slot;
+    return a < b;
+  });
+  return result;
+}
+
+std::string SystemLog::render(
+    const std::vector<const wfspec::WorkflowSpec*>& spec_of_run) const {
+  std::ostringstream out;
+  for (const auto& e : entries_) {
+    const auto* spec = e.run >= 0 && static_cast<std::size_t>(e.run) < spec_of_run.size()
+                           ? spec_of_run[static_cast<std::size_t>(e.run)]
+                           : nullptr;
+    if (e.id > 0) out << " ";
+    if (spec) {
+      out << spec->task(e.task).name;
+    } else {
+      out << "task" << e.task;
+    }
+    if (e.incarnation > 1) out << "^" << e.incarnation;
+    switch (e.kind) {
+      case ActionKind::kNormal: break;
+      case ActionKind::kMalicious: out << "[B]"; break;
+      case ActionKind::kUndo: out << "[undo]"; break;
+      case ActionKind::kRedo: out << "[redo]"; break;
+      case ActionKind::kFresh: out << "[fresh]"; break;
+      case ActionKind::kRepair: out << "[repair]"; break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace selfheal::engine

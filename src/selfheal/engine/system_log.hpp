@@ -1,0 +1,122 @@
+// The system log (Section II.A): the committed-order sequence of task
+// instances, across all workflows processed by the system. Precedence
+// t_i < t_j (Section II.B) is exactly log order. Recovery actions (undo
+// and redo executions) are appended to the same log with their own kind,
+// so the log remains the single authoritative execution record.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "selfheal/engine/versioned_store.hpp"
+#include "selfheal/wfspec/workflow_spec.hpp"
+
+namespace selfheal::engine {
+
+using RunId = std::int32_t;
+inline constexpr RunId kInvalidRun = -1;
+
+enum class ActionKind {
+  kNormal,     // original execution of a workflow task
+  kMalicious,  // original execution, corrupted by the attacker
+  kUndo,       // recovery: version-restore of a prior instance's writes
+  kRedo,       // recovery: re-execution of a prior instance
+  kFresh,      // recovery: first execution of a task that joined the path
+  kRepair,     // recovery: final masked-write reconciliation (see scheduler)
+};
+
+[[nodiscard]] const char* to_string(ActionKind kind);
+
+/// One committed execution (or recovery action) in the system log.
+struct TaskInstance {
+  InstanceId id = kInvalidInstance;  // == position in the log
+  RunId run = kInvalidRun;
+  wfspec::TaskId task = wfspec::kInvalidTask;
+  int incarnation = 1;  // visit count for loops: t^1, t^2, ...
+  ActionKind kind = ActionKind::kNormal;
+  SeqNo seq = 0;  // commit sequence (== id; kept separate for clarity)
+  /// The entry's position in the LOGICAL schedule: originals get their
+  /// own seq; a redo inherits its target's slot; a fresh execution gets
+  /// the slot it consumed (assigned by the recovery scheduler). The
+  /// effective view below orders entries by this slot, which is what
+  /// precedence (Section II.B) means once recovery has rewritten parts
+  /// of the execution.
+  SeqNo logical_slot = 0;
+
+  std::vector<wfspec::ObjectId> read_objects;
+  std::vector<Value> read_values;
+  std::vector<wfspec::ObjectId> written_objects;
+  std::vector<Value> written_values;
+
+  /// For branch tasks: the successor chosen by this execution.
+  std::optional<wfspec::TaskId> chosen_successor;
+  /// For kUndo / kRedo: the original instance being undone / redone.
+  InstanceId target = kInvalidInstance;
+
+  [[nodiscard]] bool is_original() const noexcept {
+    return kind == ActionKind::kNormal || kind == ActionKind::kMalicious;
+  }
+  [[nodiscard]] bool is_recovery() const noexcept { return !is_original(); }
+};
+
+class SystemLog {
+ public:
+  /// Appends an entry; fills in id and seq. Returns the instance id.
+  InstanceId append(TaskInstance entry);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] const TaskInstance& entry(InstanceId id) const;
+  [[nodiscard]] const std::vector<TaskInstance>& entries() const noexcept {
+    return entries_;
+  }
+
+  /// The trace of a run (Section II.A): its original-execution instances
+  /// in commit order (recovery actions excluded).
+  [[nodiscard]] std::vector<InstanceId> trace(RunId run) const;
+
+  /// succ(t_i): instances after `instance` in the same run's trace.
+  [[nodiscard]] std::vector<InstanceId> trace_successors(InstanceId instance) const;
+
+  /// The original-execution instance of (run, task, incarnation), if any.
+  [[nodiscard]] std::optional<InstanceId> find_original(RunId run, wfspec::TaskId task,
+                                                        int incarnation) const;
+
+  /// All original-execution instances, in commit order.
+  [[nodiscard]] std::vector<InstanceId> originals() const;
+
+  /// The EFFECTIVE execution: for each (run, task, incarnation) the
+  /// latest execution entry (normal/malicious/redo/fresh), excluding
+  /// triples whose latest state is undone (an undo entry committed after
+  /// the latest execution). Sorted by logical_slot (ties by id). Before
+  /// any recovery this equals originals(). Dependence analysis for later
+  /// recovery rounds runs over this view.
+  [[nodiscard]] std::vector<InstanceId> effective() const;
+
+  /// Latest execution entry of (run, task, incarnation) -- normal,
+  /// malicious, redo or fresh -- whether or not currently undone.
+  [[nodiscard]] std::optional<InstanceId> find_latest_execution(
+      RunId run, wfspec::TaskId task, int incarnation) const;
+
+  /// True iff the triple's latest execution is superseded by an undo.
+  [[nodiscard]] bool currently_undone(InstanceId execution) const;
+
+  /// Human-readable rendering, e.g. "t1 t7 t2 ..." with kind markers;
+  /// names resolved via `spec_of(run)`.
+  [[nodiscard]] std::string render(
+      const std::vector<const wfspec::WorkflowSpec*>& spec_of_run) const;
+
+  /// The next logical slot a fresh original commit would receive.
+  [[nodiscard]] SeqNo next_slot() const noexcept { return next_slot_; }
+
+  /// Appends a persisted entry verbatim (id, seq, slot already set).
+  /// The entry must be the next one in order; throws otherwise.
+  void restore_entry(TaskInstance entry);
+
+ private:
+  std::vector<TaskInstance> entries_;
+  SeqNo next_slot_ = 1;
+};
+
+}  // namespace selfheal::engine

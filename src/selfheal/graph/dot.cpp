@@ -1,0 +1,33 @@
+#include "selfheal/graph/dot.hpp"
+
+#include <sstream>
+
+namespace selfheal::graph {
+
+std::string to_dot(const Digraph& g, const std::string& graph_name,
+                   const std::function<DotNodeStyle(NodeId)>& style) {
+  std::ostringstream out;
+  out << "digraph \"" << graph_name << "\" {\n";
+  out << "  rankdir=LR;\n";
+  for (std::size_t n = 0; n < g.node_count(); ++n) {
+    const auto id = static_cast<NodeId>(n);
+    DotNodeStyle s;
+    if (style) s = style(id);
+    out << "  n" << n << " [label=\"";
+    out << (s.label.empty() ? "n" + std::to_string(n) : s.label);
+    if (!s.annotation.empty()) out << " (" << s.annotation << ")";
+    out << "\"";
+    if (!s.color.empty()) out << ", style=filled, fillcolor=\"" << s.color << "\"";
+    if (!s.shape.empty()) out << ", shape=" << s.shape;
+    out << "];\n";
+  }
+  for (std::size_t n = 0; n < g.node_count(); ++n) {
+    for (NodeId m : g.successors(static_cast<NodeId>(n))) {
+      out << "  n" << n << " -> n" << m << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace selfheal::graph

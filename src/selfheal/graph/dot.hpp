@@ -1,0 +1,24 @@
+// Graphviz DOT export with per-node labels/attributes. Used by examples
+// to render Figure 1-style damage-marking diagrams.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "selfheal/graph/digraph.hpp"
+
+namespace selfheal::graph {
+
+struct DotNodeStyle {
+  std::string label;       // empty -> node id
+  std::string color;       // empty -> default
+  std::string shape;       // empty -> default
+  std::string annotation;  // appended to label in quotes, e.g. "B"/"A" marks
+};
+
+/// Renders the graph in DOT syntax. `style` may be null for plain output.
+[[nodiscard]] std::string to_dot(
+    const Digraph& g, const std::string& graph_name,
+    const std::function<DotNodeStyle(NodeId)>& style = nullptr);
+
+}  // namespace selfheal::graph

@@ -1,0 +1,55 @@
+#include "selfheal/ids/ids.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace selfheal::ids {
+
+std::vector<Alert> IdsSimulator::detect(const engine::SystemLog& log,
+                                        util::Rng& rng) const {
+  std::vector<Alert> alerts;
+  std::vector<engine::InstanceId> missed;
+
+  for (const auto& e : log.entries()) {
+    if (e.kind != engine::ActionKind::kMalicious) continue;
+    if (rng.chance(config_.coverage)) {
+      Alert alert;
+      alert.malicious.push_back(e.id);
+      alert.report_time = static_cast<double>(e.seq) +
+                          rng.exponential(1.0 / std::max(config_.mean_detection_delay,
+                                                         1e-9));
+      alerts.push_back(std::move(alert));
+    } else {
+      missed.push_back(e.id);
+    }
+  }
+
+  if (!missed.empty() && config_.admin_sweep_time >= 0) {
+    Alert sweep;
+    sweep.malicious = std::move(missed);
+    sweep.report_time = config_.admin_sweep_time;
+    alerts.push_back(std::move(sweep));
+  }
+
+  std::sort(alerts.begin(), alerts.end(),
+            [](const Alert& a, const Alert& b) { return a.report_time < b.report_time; });
+  return alerts;
+}
+
+bool AlertQueue::push(Alert alert) {
+  if (queue_.size() >= capacity_) {
+    ++lost_;
+    return false;
+  }
+  queue_.push_back(std::move(alert));
+  return true;
+}
+
+Alert AlertQueue::pop() {
+  if (queue_.empty()) throw std::logic_error("AlertQueue::pop: queue empty");
+  Alert front = std::move(queue_.front());
+  queue_.pop_front();
+  return front;
+}
+
+}  // namespace selfheal::ids

@@ -1,0 +1,76 @@
+// Simulated intrusion detection (substitution for the paper's external
+// IDS, Section IV.A).
+//
+// The IDS periodically reports malicious tasks; it cannot trace damage
+// spreading (that is the recovery analyzer's job) and may be late or
+// incomplete. The simulator takes the ground-truth malicious instances
+// from the system log (entries executed with ActionKind::kMalicious) and
+// turns them into timed alerts with configurable delay and coverage.
+// Undetected instances are reported by a final "administrator sweep", as
+// the paper assumes all corrupted tasks are ultimately identified.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "selfheal/engine/system_log.hpp"
+#include "selfheal/util/rng.hpp"
+
+namespace selfheal::ids {
+
+/// One IDS report: a batch of detected malicious instances.
+struct Alert {
+  std::vector<engine::InstanceId> malicious;
+  double report_time = 0.0;  // in the same time unit as commit seq
+};
+
+struct IdsConfig {
+  /// Mean of the exponential detection delay after the malicious commit.
+  double mean_detection_delay = 5.0;
+  /// Probability that the IDS itself detects a malicious instance.
+  double coverage = 1.0;
+  /// Time of the administrator sweep that reports anything the IDS
+  /// missed (< 0 disables the sweep, modelling permanently missed
+  /// attacks -- useful for experiments on IDS dependence).
+  double admin_sweep_time = 1e6;
+};
+
+class IdsSimulator {
+ public:
+  explicit IdsSimulator(IdsConfig config = {}) : config_(config) {}
+
+  /// Scans the log for malicious original instances and produces alerts
+  /// sorted by report time. Each detection is its own alert; the admin
+  /// sweep (if any) is one final batched alert.
+  [[nodiscard]] std::vector<Alert> detect(const engine::SystemLog& log,
+                                          util::Rng& rng) const;
+
+  [[nodiscard]] const IdsConfig& config() const noexcept { return config_; }
+
+ private:
+  IdsConfig config_;
+};
+
+/// Bounded FIFO of alerts (the "IDS Alerts" queue in Figure 2). Pushes
+/// into a full queue are dropped and counted as lost.
+class AlertQueue {
+ public:
+  explicit AlertQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns false (and counts a loss) if the queue is full.
+  bool push(Alert alert);
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t lost() const noexcept { return lost_; }
+  /// Pops the oldest alert; throws if empty.
+  Alert pop();
+
+ private:
+  std::size_t capacity_;
+  std::deque<Alert> queue_;
+  std::size_t lost_ = 0;
+};
+
+}  // namespace selfheal::ids

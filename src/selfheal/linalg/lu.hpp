@@ -1,0 +1,36 @@
+// LU decomposition with partial pivoting and a linear-system solver.
+// Used by the CTMC steady-state checker (the primary path is GTH, which
+// is subtraction-free; LU provides an independent numerical witness).
+#pragma once
+
+#include <optional>
+
+#include "selfheal/linalg/matrix.hpp"
+
+namespace selfheal::linalg {
+
+/// PA = LU factorization. Fails (returns nullopt) on singular matrices
+/// (pivot below `tolerance`).
+class LuDecomposition {
+ public:
+  [[nodiscard]] static std::optional<LuDecomposition> compute(
+      const Matrix& a, double tolerance = 1e-12);
+
+  /// Solves A x = b for x.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  [[nodiscard]] double determinant() const;
+  [[nodiscard]] std::size_t size() const noexcept { return lu_.rows(); }
+
+ private:
+  LuDecomposition() = default;
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  int perm_sign_ = 1;
+};
+
+/// Convenience wrapper: solves A x = b, nullopt if singular.
+[[nodiscard]] std::optional<Vector> solve_linear(const Matrix& a, const Vector& b,
+                                                 double tolerance = 1e-12);
+
+}  // namespace selfheal::linalg

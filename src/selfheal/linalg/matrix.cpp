@@ -1,0 +1,171 @@
+#include "selfheal/linalg/matrix.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace selfheal::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    if (row.size() != cols_) throw std::invalid_argument("Matrix: ragged initializer");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("Matrix+=: size mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("Matrix-=: size mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& x : data_) x *= scalar;
+  return *this;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  Matrix result = *this;
+  result += other;
+  return result;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  Matrix result = *this;
+  result -= other;
+  return result;
+}
+
+Matrix Matrix::operator*(double scalar) const {
+  Matrix result = *this;
+  result *= scalar;
+  return result;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  if (cols_ != other.rows_) throw std::invalid_argument("Matrix*: size mismatch");
+  Matrix result(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double v = (*this)(r, k);
+      if (v == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        result(r, c) += v * other(k, c);
+      }
+    }
+  }
+  return result;
+}
+
+Vector Matrix::left_multiply(const Vector& x) const {
+  if (x.size() != rows_) throw std::invalid_argument("left_multiply: size mismatch");
+  Vector y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double v = x[r];
+    if (v == 0.0) continue;
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += v * (*this)(r, c);
+  }
+  return y;
+}
+
+Vector Matrix::right_multiply(const Vector& x) const {
+  if (x.size() != cols_) throw std::invalid_argument("right_multiply: size mismatch");
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+double Matrix::max_abs() const noexcept {
+  double best = 0.0;
+  for (double x : data_) best = std::max(best, std::fabs(x));
+  return best;
+}
+
+std::string Matrix::to_string(int precision) const {
+  std::ostringstream out;
+  out << std::setprecision(precision);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    out << "[";
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out << (*this)(r, c);
+      if (c + 1 < cols_) out << ", ";
+    }
+    out << "]\n";
+  }
+  return out.str();
+}
+
+double dot(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double l1_norm(const Vector& v) {
+  double acc = 0.0;
+  for (double x : v) acc += std::fabs(x);
+  return acc;
+}
+
+double max_abs(const Vector& v) {
+  double best = 0.0;
+  for (double x : v) best = std::max(best, std::fabs(x));
+  return best;
+}
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+  if (x.size() != y.size()) throw std::invalid_argument("axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(Vector& v, double alpha) {
+  for (double& x : v) x *= alpha;
+}
+
+}  // namespace selfheal::linalg

@@ -1,0 +1,160 @@
+#include "selfheal/recovery/analyzer.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace selfheal::recovery {
+
+RecoveryAnalyzer::RecoveryAnalyzer(const engine::Engine& engine)
+    : engine_(engine), specs_(engine.specs_by_run()),
+      deps_(engine.log(), specs_) {}
+
+RecoveryPlan RecoveryAnalyzer::analyze(const std::vector<InstanceId>& malicious) const {
+  work_units_ = 0;
+  const auto& log = engine_.log();
+  RecoveryPlan plan;
+
+  // Keep only reports that still name the live execution of their task:
+  // an instance already undone or superseded by a redo was repaired by an
+  // earlier recovery round, so a (late, duplicate) alert for it is moot.
+  for (const auto id : malicious) {
+    const auto& e = log.entry(id);
+    const auto latest = log.find_latest_execution(e.run, e.task, e.incarnation);
+    if (latest == id && !log.currently_undone(id)) plan.malicious.push_back(id);
+  }
+  std::sort(plan.malicious.begin(), plan.malicious.end());
+  plan.malicious.erase(std::unique(plan.malicious.begin(), plan.malicious.end()),
+                       plan.malicious.end());
+
+  // Theorem 1, conditions 1 + 3: the damage closure over flow dependence.
+  plan.damaged = deps_.flow_closure(plan.malicious);
+  const std::set<InstanceId> damaged_set(plan.damaged.begin(), plan.damaged.end());
+  work_units_ += plan.damaged.size();
+
+  // Damaged branch instances: their redo may re-choose the path.
+  for (const auto id : plan.damaged) {
+    const auto& e = log.entry(id);
+    const auto* spec = specs_.at(static_cast<std::size_t>(e.run));
+    if (spec->is_branch(e.task)) plan.damaged_branches.push_back(id);
+  }
+
+  // Theorem 1, condition 2: executed instances control-dependent on a
+  // damaged branch are candidate undos (off-path after the redo?). If a
+  // candidate IS undone, its flow dependents read removed data, so
+  // Theorem 1 c3 applies to the grown B: the candidate set is closed
+  // under flow dependence (dependents inherit the guard).
+  std::set<InstanceId> candidate_seen;
+  for (const auto branch : plan.damaged_branches) {
+    std::vector<InstanceId> controlled = deps_.controlled_by(branch);
+    for (const auto instance : deps_.flow_closure(controlled)) {
+      ++work_units_;
+      if (damaged_set.count(instance) || candidate_seen.count(instance)) continue;
+      candidate_seen.insert(instance);
+      plan.candidate_undos.push_back(CandidateUndo{instance, branch, 2});
+    }
+  }
+
+  // Theorem 1, condition 4: an unexecuted task t_k controlled by a
+  // damaged branch may join the re-executed path; executed instances
+  // (potentially) flow-dependent on t_k read data that is then not up to
+  // date. Potential flow is judged by read/write-set overlap, extended
+  // with the real flow closure.
+  const auto effective = log.effective();
+  for (const auto branch : plan.damaged_branches) {
+    const auto& be = log.entry(branch);
+    const auto* spec = specs_.at(static_cast<std::size_t>(be.run));
+    for (std::size_t u = 0; u < spec->task_count(); ++u) {
+      const auto task_u = static_cast<wfspec::TaskId>(u);
+      ++work_units_;
+      if (!spec->control_dependent(be.task, task_u)) continue;
+      // t_k must NOT be in the (effective) execution.
+      const auto executed = log.find_latest_execution(be.run, task_u, 1);
+      if (executed && !log.currently_undone(*executed)) continue;
+      const auto& writes_u = spec->task(task_u).writes;
+      if (writes_u.empty()) continue;
+
+      std::vector<InstanceId> direct;
+      for (const auto eid : effective) {
+        const auto& e = log.entry(eid);
+        if (e.logical_slot <= be.logical_slot) continue;
+        ++work_units_;
+        const bool overlaps = std::any_of(
+            e.read_objects.begin(), e.read_objects.end(), [&](wfspec::ObjectId o) {
+              return std::find(writes_u.begin(), writes_u.end(), o) != writes_u.end();
+            });
+        if (overlaps) direct.push_back(e.id);
+      }
+      for (const auto j : deps_.flow_closure(direct)) {
+        ++work_units_;
+        if (damaged_set.count(j) || candidate_seen.count(j)) continue;
+        candidate_seen.insert(j);
+        plan.candidate_undos.push_back(CandidateUndo{j, branch, 4});
+      }
+    }
+  }
+
+  // Theorem 2: split damaged instances into definite and candidate redos.
+  for (const auto id : plan.damaged) {
+    InstanceId guard = engine::kInvalidInstance;
+    for (const auto& e : deps_.edges_to(id)) {
+      ++work_units_;
+      if (e.kind == deps::DepKind::kControl && damaged_set.count(e.from)) {
+        guard = e.from;
+        break;
+      }
+    }
+    if (guard == engine::kInvalidInstance) {
+      plan.definite_redos.push_back(id);
+    } else {
+      plan.candidate_redos.push_back(CandidateRedo{id, guard});
+    }
+  }
+
+  // Theorem 3 constraints (static rules). The full redo set for rule
+  // purposes is definite + candidate.
+  std::set<InstanceId> redo_set(plan.definite_redos.begin(), plan.definite_redos.end());
+  for (const auto& c : plan.candidate_redos) redo_set.insert(c.instance);
+
+  // Rule 3: undo(t) < redo(t).
+  for (const auto id : plan.damaged) {
+    if (redo_set.count(id)) {
+      plan.constraints.push_back(
+          OrderConstraint{ActionType::kUndo, id, ActionType::kRedo, id, 3});
+    }
+  }
+  // Rule 1: precedence order among redos (chained: t_i < t_j adjacent in
+  // commit order implies the full order transitively).
+  std::vector<InstanceId> redos_sorted(redo_set.begin(), redo_set.end());
+  std::sort(redos_sorted.begin(), redos_sorted.end());
+  for (std::size_t i = 1; i < redos_sorted.size(); ++i) {
+    plan.constraints.push_back(OrderConstraint{ActionType::kRedo, redos_sorted[i - 1],
+                                               ActionType::kRedo, redos_sorted[i], 1});
+  }
+  // Rules 2, 4, 5 from the dependence edges.
+  for (const auto& e : deps_.edges()) {
+    ++work_units_;
+    const bool from_redo = redo_set.count(e.from) > 0;
+    const bool to_redo = redo_set.count(e.to) > 0;
+    const bool from_undo = damaged_set.count(e.from) > 0;
+    const bool to_undo = damaged_set.count(e.to) > 0;
+    if (from_redo && to_redo) {
+      // Rule 2: t_i -> t_j (any dependence) orders their redos.
+      plan.constraints.push_back(
+          OrderConstraint{ActionType::kRedo, e.from, ActionType::kRedo, e.to, 2});
+    }
+    if (e.kind == deps::DepKind::kAnti && from_redo && to_undo) {
+      // Rule 4: t_i ->_a t_j: undo(t_j) < redo(t_i).
+      plan.constraints.push_back(
+          OrderConstraint{ActionType::kUndo, e.to, ActionType::kRedo, e.from, 4});
+    }
+    if (e.kind == deps::DepKind::kOutput && from_undo && to_undo) {
+      // Rule 5: t_i ->_o t_j: undo(t_j) < undo(t_i).
+      plan.constraints.push_back(
+          OrderConstraint{ActionType::kUndo, e.to, ActionType::kUndo, e.from, 5});
+    }
+  }
+
+  return plan;
+}
+
+}  // namespace selfheal::recovery

@@ -1,0 +1,189 @@
+#include "selfheal/recovery/controller.hpp"
+
+#include <algorithm>
+
+namespace selfheal::recovery {
+
+const char* to_string(ConcurrencyStrategy strategy) {
+  switch (strategy) {
+    case ConcurrencyStrategy::kStrict: return "strict";
+    case ConcurrencyStrategy::kRisky: return "risky";
+    case ConcurrencyStrategy::kMultiVersion: return "multi-version";
+  }
+  return "?";
+}
+
+const char* to_string(SystemState state) {
+  switch (state) {
+    case SystemState::kNormal: return "NORMAL";
+    case SystemState::kScan: return "SCAN";
+    case SystemState::kRecovery: return "RECOVERY";
+  }
+  return "?";
+}
+
+SelfHealingController::SelfHealingController(engine::Engine& engine,
+                                             ControllerConfig config)
+    : engine_(&engine), config_(config), alerts_(config.alert_buffer) {}
+
+SystemState SelfHealingController::state() const {
+  if (!alerts_.empty()) return SystemState::kScan;
+  if (!units_.empty()) return SystemState::kRecovery;
+  return SystemState::kNormal;
+}
+
+bool SelfHealingController::submit_alert(ids::Alert alert) {
+  ++stats_.alerts_received;
+  const bool accepted = alerts_.push(std::move(alert));
+  if (!accepted) ++stats_.alerts_lost;
+  return accepted;
+}
+
+std::set<wfspec::ObjectId> SelfHealingController::dirty_objects() const {
+  std::set<wfspec::ObjectId> dirty;
+  const auto& log = engine_->log();
+  auto mark = [&](engine::InstanceId id) {
+    for (const auto object : log.entry(id).written_objects) dirty.insert(object);
+  };
+  for (const auto& plan : units_) {
+    for (const auto id : plan.damaged) mark(id);
+    for (const auto& c : plan.candidate_undos) mark(c.instance);
+  }
+  return dirty;
+}
+
+bool SelfHealingController::advance_until_blocked(
+    engine::RunId run, const std::set<wfspec::ObjectId>& dirty) {
+  const auto& spec = engine_->spec_of(run);
+  while (const auto next = engine_->peek_next_task(run)) {
+    const auto& task = spec.task(*next);
+    const auto touches_dirty = [&](const std::vector<wfspec::ObjectId>& objects) {
+      return std::any_of(objects.begin(), objects.end(), [&](wfspec::ObjectId o) {
+        return dirty.count(o) > 0;
+      });
+    };
+    // Theorem 4: block before reading repaired-later data (rule 1's
+    // flow/control case) or writing objects recovery will read/restore
+    // (the anti/output case).
+    if (touches_dirty(task.reads) || touches_dirty(task.writes)) {
+      ++stats_.runs_parked;
+      return false;
+    }
+    engine_->step_run(run);
+    ++stats_.tasks_before_park;
+  }
+  return true;
+}
+
+std::optional<engine::RunId> SelfHealingController::submit_run(
+    const wfspec::WorkflowSpec& spec) {
+  if (config_.strategy == ConcurrencyStrategy::kStrict &&
+      state() == SystemState::kRecovery &&
+      config_.granularity == BlockingGranularity::kPerTask) {
+    // Damage is fully analyzed: the dirty set is exact, so the run may
+    // proceed task by task up to its first dirty access (Theorem 4).
+    const auto run = engine_->start_run(spec);
+    // If it parks mid-run, the run stays active in the engine and
+    // release_pending()'s run_all() resumes it once recovery completes.
+    advance_until_blocked(run, dirty_objects());
+    return run;
+  }
+  if (config_.strategy == ConcurrencyStrategy::kStrict &&
+      state() != SystemState::kNormal) {
+    // Theorem 4: a normal task must not run before recovery analysis and
+    // execution complete -- it could read corrupted data or corrupt a
+    // pending redo's inputs.
+    pending_runs_.push_back(&spec);
+    ++stats_.runs_deferred;
+    return std::nullopt;
+  }
+  // Under the concurrency strategies the run executes immediately; if it
+  // reads still-corrupted data it becomes part of the damage a later
+  // round discovers (kMultiVersion keeps the RECOVERY side safe; kRisky
+  // risks the recovery tasks too).
+  const auto run = engine_->start_run(spec);
+  engine_->run_all();
+  return run;
+}
+
+std::optional<std::size_t> SelfHealingController::scan_one() {
+  if (alerts_.empty()) return std::nullopt;
+  if (units_.size() >= config_.recovery_buffer) {
+    // Analyzer blocked: no space for the unit this alert would produce.
+    ++stats_.alerts_blocked;
+    return std::nullopt;
+  }
+  auto alert = alerts_.pop();
+  if (config_.batch_alerts) {
+    std::size_t extra = 0;
+    while (!alerts_.empty()) {
+      auto more = alerts_.pop();
+      alert.malicious.insert(alert.malicious.end(), more.malicious.begin(),
+                             more.malicious.end());
+      ++extra;
+    }
+    stats_.scans += extra;  // each absorbed alert counts as scanned
+  }
+  const int k = static_cast<int>(units_.size()) + 1;
+
+  RecoveryAnalyzer analyzer(*engine_);
+  auto plan = analyzer.analyze(alert.malicious);
+  const auto work = analyzer.last_work_units();
+  units_.push_back(std::move(plan));
+
+  ++stats_.scans;
+  stats_.scan_work += work;
+  stats_.scan_work_by_queue[k].add(static_cast<double>(work));
+  return work;
+}
+
+std::optional<std::size_t> SelfHealingController::recover_one() {
+  if (units_.empty()) return std::nullopt;
+  const bool allowed = alerts_.empty() || units_.size() >= config_.recovery_buffer;
+  if (!allowed) return std::nullopt;  // no recovery execution in SCAN
+
+  const int k = static_cast<int>(units_.size());
+  auto plan = std::move(units_.front());
+  units_.pop_front();
+
+  SchedulerOptions options;
+  options.clean_reads = config_.strategy != ConcurrencyStrategy::kRisky;
+  RecoveryScheduler scheduler(*engine_, options);
+  const auto outcome = scheduler.execute(plan);
+
+  ++stats_.recoveries;
+  stats_.recovery_work += outcome.work_units;
+  stats_.recovery_work_by_queue[k].add(static_cast<double>(outcome.work_units));
+
+  if (state() == SystemState::kNormal) release_pending();
+  return outcome.work_units;
+}
+
+std::size_t SelfHealingController::drain() {
+  std::size_t total = 0;
+  while (state() != SystemState::kNormal) {
+    if (auto work = scan_one()) {
+      total += *work;
+      continue;
+    }
+    if (auto work = recover_one()) {
+      total += *work;
+      continue;
+    }
+    break;  // defensive: nothing progressed
+  }
+  release_pending();
+  return total;
+}
+
+void SelfHealingController::release_pending() {
+  if (state() != SystemState::kNormal) return;
+  while (!pending_runs_.empty()) {
+    const auto* spec = pending_runs_.front();
+    pending_runs_.pop_front();
+    engine_->start_run(*spec);
+  }
+  engine_->run_all();  // also resumes runs parked mid-task (Theorem 4)
+}
+
+}  // namespace selfheal::recovery

@@ -1,0 +1,115 @@
+#include "selfheal/recovery/correctness.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "selfheal/recovery/replay_order.hpp"
+
+namespace selfheal::recovery {
+
+engine::Engine CorrectnessChecker::build_oracle() const {
+  engine::Engine oracle(engine_->config());
+  const auto nruns = engine_->run_count();
+  for (std::size_t r = 0; r < nruns; ++r) {
+    oracle.start_run(engine_->spec_of(static_cast<engine::RunId>(r)));
+  }
+
+  // Re-execute benignly under the exact replay interleaving the recovery
+  // scheduler produced (see replay_order.hpp): per-run slot lists from
+  // the EFFECTIVE view -- for repaired runs these are exactly the slots
+  // the scheduler stamped, so oracle and recovery walk the same global
+  // schedule. If recovery was correct, the oracle never needs more slots
+  // than the effective view has; if it was not, the overflow formula
+  // keeps the comparison deterministic.
+  std::vector<ReplayCursor> cursors(nruns);
+  engine::SeqNo overflow_base = engine_->log().next_slot();
+  for (const auto id : engine_->log().effective()) {
+    const auto& e = engine_->log().entry(id);
+    cursors[static_cast<std::size_t>(e.run)].slots.push_back(e.logical_slot);
+    overflow_base = std::max(overflow_base, e.logical_slot + 1);
+  }
+  for (auto& cursor : cursors) cursor.overflow_base = overflow_base;
+  while (true) {
+    const auto pick = pick_next_run(cursors);
+    if (pick == static_cast<std::size_t>(-1)) break;
+    if (!oracle.step_run(static_cast<engine::RunId>(pick))) {
+      cursors[pick].done = true;  // the benign path ended for this run
+      continue;
+    }
+    cursors[pick].consume();
+  }
+  return oracle;
+}
+
+std::vector<engine::Value> CorrectnessChecker::oracle_store() const {
+  const auto oracle = build_oracle();
+  return oracle.store().snapshot();
+}
+
+CorrectnessReport CorrectnessChecker::check() const {
+  CorrectnessReport report;
+  for (std::size_t r = 0; r < engine_->run_count(); ++r) {
+    if (engine_->run_active(static_cast<engine::RunId>(r))) {
+      report.applicable = false;
+      report.summary = "run " + std::to_string(r) + " still in flight";
+      return report;
+    }
+  }
+
+  const auto oracle = build_oracle();
+  std::ostringstream problems;
+
+  // --- Completeness: store equality, object by object.
+  const auto& real_store = engine_->store();
+  const auto& oracle_store = oracle.store();
+  const std::size_t objects =
+      std::max(real_store.object_count(), oracle_store.object_count());
+  for (std::size_t o = 0; o < objects; ++o) {
+    const auto object = static_cast<wfspec::ObjectId>(o);
+    if (real_store.read(object) != oracle_store.read(object)) {
+      report.complete = false;
+      report.mismatched_objects.push_back(object);
+    }
+  }
+  if (!report.complete) {
+    problems << "store mismatch on " << report.mismatched_objects.size()
+             << " object(s); ";
+  }
+
+  // --- Consistency + safety: per-run effective traces vs oracle traces.
+  const auto effective = engine_->log().effective();
+  std::map<engine::RunId, std::vector<engine::InstanceId>> real_traces;
+  for (const auto id : effective) {
+    real_traces[engine_->log().entry(id).run].push_back(id);
+  }
+  for (std::size_t r = 0; r < engine_->run_count(); ++r) {
+    const auto run = static_cast<engine::RunId>(r);
+    const auto oracle_trace = oracle.log().trace(run);
+    const auto& real_trace = real_traces[run];
+    if (real_trace.size() != oracle_trace.size()) {
+      report.consistent = false;
+      problems << "run " << r << " trace length " << real_trace.size() << " vs oracle "
+               << oracle_trace.size() << "; ";
+      continue;
+    }
+    for (std::size_t i = 0; i < real_trace.size(); ++i) {
+      const auto& real = engine_->log().entry(real_trace[i]);
+      const auto& want = oracle.log().entry(oracle_trace[i]);
+      if (real.task != want.task || real.incarnation != want.incarnation) {
+        report.consistent = false;
+        problems << "run " << r << " step " << i << " task mismatch; ";
+        break;
+      }
+      if (real.written_values != want.written_values) {
+        report.safe = false;
+        problems << "run " << r << " step " << i << " values differ; ";
+      }
+    }
+  }
+
+  report.summary = report.strict_correct() ? "strict correct" : problems.str();
+  return report;
+}
+
+}  // namespace selfheal::recovery

@@ -1,0 +1,79 @@
+// The replay interleaving policy, shared by the recovery scheduler and
+// the correctness oracle.
+//
+// Recovery must put redone work back at the precedence positions the
+// original execution gave it (Theorem 3 rule 1: t_i < t_j implies
+// redo(t_i) < redo(t_j)). We realise this with per-run slot lists: each
+// run's k-th replay step occupies the k-th logical slot that run held in
+// the recorded execution, whatever task now runs there (a re-chosen path
+// reuses the orphaned tasks' slots). Steps beyond a run's recorded
+// history -- a longer re-chosen path -- get slots above kOverflowBase,
+// round-robin by run id. kOverflowBase is a large constant rather than
+// max(recorded)+1 so that the stamps a recovery round writes stay
+// meaningful in later rounds (and the oracle can regenerate them from
+// the original log alone).
+//
+// The global replay order is: always advance the run with the smallest
+// next slot. Both the scheduler and the oracle follow it, so "correct
+// recovery" is well-defined: the state a benign execution produces under
+// this exact schedule.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "selfheal/engine/system_log.hpp"
+
+namespace selfheal::recovery {
+
+/// Overflow slots interleave runs round-robin: one slot per run per
+/// overflow "round". The stride is a fixed constant (not the run count)
+/// so stamps stay stable when later rounds run with more runs.
+inline constexpr engine::SeqNo kOverflowStride = engine::SeqNo{1} << 20;
+
+/// Per-run replay position: recorded slots first, overflow slots after.
+/// `overflow_base` must be set above every slot in the schedule (the
+/// replay round takes max(recorded slot) + 1).
+struct ReplayCursor {
+  std::vector<engine::SeqNo> slots;  // the run's recorded logical slots
+  engine::SeqNo overflow_base = 0;
+  std::size_t step = 0;              // recorded slots consumed
+  std::size_t overflow = 0;          // steps beyond the recorded history
+  bool done = false;
+
+  [[nodiscard]] engine::SeqNo next_slot(engine::RunId run) const {
+    if (done) return std::numeric_limits<engine::SeqNo>::max();
+    if (step < slots.size()) return slots[step];
+    return overflow_base + static_cast<engine::SeqNo>(overflow) * kOverflowStride +
+           static_cast<engine::SeqNo>(run);
+  }
+
+  void consume() {
+    if (step < slots.size()) {
+      ++step;
+    } else {
+      ++overflow;
+    }
+  }
+
+  [[nodiscard]] bool in_overflow() const { return step >= slots.size(); }
+};
+
+/// Picks the index of the cursor with the smallest next slot (ties by
+/// index); returns npos when every cursor is done.
+[[nodiscard]] inline std::size_t pick_next_run(
+    const std::vector<ReplayCursor>& cursors) {
+  std::size_t best_index = static_cast<std::size_t>(-1);
+  engine::SeqNo best = std::numeric_limits<engine::SeqNo>::max();
+  for (std::size_t i = 0; i < cursors.size(); ++i) {
+    const auto slot = cursors[i].next_slot(static_cast<engine::RunId>(i));
+    if (slot < best) {
+      best = slot;
+      best_index = i;
+    }
+  }
+  return best_index;
+}
+
+}  // namespace selfheal::recovery

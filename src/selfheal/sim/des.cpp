@@ -1,0 +1,36 @@
+#include "selfheal/sim/des.hpp"
+
+#include <stdexcept>
+
+namespace selfheal::sim {
+
+void EventQueue::schedule(double time, Handler handler) {
+  if (time < now_) throw std::invalid_argument("EventQueue: scheduling in the past");
+  queue_.push(Event{time, counter_++, std::move(handler)});
+}
+
+void EventQueue::schedule_in(double delay, Handler handler) {
+  schedule(now_ + delay, std::move(handler));
+}
+
+void EventQueue::run_until(double t_end) {
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    // Copy out before pop: the handler may schedule new events.
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    event.handler();
+  }
+  now_ = t_end;
+}
+
+void EventQueue::run_all() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    event.handler();
+  }
+}
+
+}  // namespace selfheal::sim

@@ -1,0 +1,49 @@
+// Minimal discrete-event simulation core: a time-ordered event queue
+// with stable FIFO ordering for simultaneous events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace selfheal::sim {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `handler` at absolute time `time` (>= now()).
+  void schedule(double time, Handler handler);
+  /// Schedules at now() + delay.
+  void schedule_in(double delay, Handler handler);
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Processes events up to and including time `t_end`. Events scheduled
+  /// while running are processed too if they fall within the horizon.
+  void run_until(double t_end);
+
+  /// Processes every pending event regardless of time.
+  void run_all();
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t order;  // tie-break: FIFO among simultaneous events
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.order > b.order;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace selfheal::sim

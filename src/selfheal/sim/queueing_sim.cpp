@@ -1,0 +1,118 @@
+#include "selfheal/sim/queueing_sim.hpp"
+
+namespace selfheal::sim {
+
+QueueingResult simulate_queueing(const ctmc::RecoveryStgConfig& config,
+                                 double horizon, util::Rng& rng,
+                                 const std::optional<ctmc::BurstModel>& burst) {
+  QueueingResult result;
+  result.horizon = horizon;
+  bool in_burst = false;
+  double t_burst = 0;
+
+  std::size_t alerts = 0;
+  std::size_t units = 0;
+  const std::size_t amax = config.alert_buffer;
+  const std::size_t rmax = config.recovery_buffer;
+
+  double now = 0.0;
+  double t_normal = 0, t_scan = 0, t_recovery = 0, t_loss = 0, t_full = 0;
+  double area_alerts = 0, area_units = 0;
+
+  auto scan_rate = [&]() -> double {
+    if (alerts == 0 || units >= rmax) return 0.0;
+    const int k = [&] {
+      switch (config.mu_index) {
+        case ctmc::QueueIndex::kAlerts: return static_cast<int>(alerts);
+        case ctmc::QueueIndex::kUnits: return static_cast<int>(units + 1);
+        case ctmc::QueueIndex::kTotal: return static_cast<int>(alerts + units);
+      }
+      return static_cast<int>(alerts);
+    }();
+    return config.f(config.mu1, k);
+  };
+  auto recovery_rate = [&]() -> double {
+    if (units == 0) return 0.0;
+    const bool enabled = [&] {
+      switch (config.policy) {
+        case ctmc::ScanPolicy::kStrict: return alerts == 0;
+        case ctmc::ScanPolicy::kDrainWhenFull: return alerts == 0 || units >= rmax;
+        case ctmc::ScanPolicy::kConcurrent: return true;
+      }
+      return false;
+    }();
+    if (!enabled) return 0.0;
+    const int k = [&] {
+      switch (config.xi_index) {
+        case ctmc::QueueIndex::kAlerts: return static_cast<int>(alerts + 1);
+        case ctmc::QueueIndex::kUnits: return static_cast<int>(units);
+        case ctmc::QueueIndex::kTotal: return static_cast<int>(alerts + units);
+      }
+      return static_cast<int>(units);
+    }();
+    return config.g(config.xi1, k);
+  };
+
+  auto accumulate = [&](double step) {
+    if (in_burst) t_burst += step;
+    if (alerts == 0 && units == 0) t_normal += step;
+    if (alerts > 0) t_scan += step;
+    if (alerts == 0 && units > 0) t_recovery += step;
+    if (alerts == amax) t_loss += step;
+    if (units == rmax) t_full += step;
+    area_alerts += static_cast<double>(alerts) * step;
+    area_units += static_cast<double>(units) * step;
+  };
+
+  while (now < horizon) {
+    const double lambda =
+        burst ? (in_burst ? burst->lambda_burst : burst->lambda_quiet)
+              : config.lambda;
+    const double switch_rate =
+        burst ? (in_burst ? burst->burst_to_quiet : burst->quiet_to_burst) : 0.0;
+    const double mu = scan_rate();
+    const double xi = recovery_rate();
+    const double total = lambda + mu + xi + switch_rate;  // arrivals always "occur"
+    if (total <= 0.0) {
+      accumulate(horizon - now);  // absorbed: stay here to the horizon
+      now = horizon;
+      break;
+    }
+
+    const double dt = rng.exponential(total);
+    const double step = std::min(dt, horizon - now);
+
+    accumulate(step);
+    now += dt;
+    if (now >= horizon) break;
+
+    const double pick = rng.uniform(0.0, total);
+    if (pick < lambda) {
+      ++result.arrivals;
+      if (alerts < amax) {
+        ++alerts;
+      } else {
+        ++result.lost_arrivals;
+      }
+    } else if (pick < lambda + mu) {
+      --alerts;
+      ++units;
+    } else if (pick < lambda + mu + xi) {
+      --units;
+    } else {
+      in_burst = !in_burst;  // modulator switch
+    }
+  }
+
+  result.p_normal = t_normal / horizon;
+  result.p_scan = t_scan / horizon;
+  result.p_recovery = t_recovery / horizon;
+  result.loss_edge = t_loss / horizon;
+  result.recovery_full = t_full / horizon;
+  result.mean_alerts = area_alerts / horizon;
+  result.mean_units = area_units / horizon;
+  result.p_burst = t_burst / horizon;
+  return result;
+}
+
+}  // namespace selfheal::sim

@@ -1,0 +1,47 @@
+// Discrete-event (Gillespie) simulation of the Figure 3 queueing system.
+//
+// Simulates exactly the stochastic process the RecoveryStg CTMC models --
+// Poisson alert arrivals, exponential scan/recovery services with
+// queue-dependent rates, the same ScanPolicy gating -- and measures
+// empirical state occupancy and loss. Used to cross-validate the
+// analytical solver (bench/sim_vs_ctmc) and to study policies the CTMC
+// cannot express.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "selfheal/ctmc/mmpp_stg.hpp"
+#include "selfheal/ctmc/recovery_stg.hpp"
+#include "selfheal/util/rng.hpp"
+
+namespace selfheal::sim {
+
+struct QueueingResult {
+  double horizon = 0;
+  // Time-weighted state-class occupancy fractions.
+  double p_normal = 0;
+  double p_scan = 0;
+  double p_recovery = 0;
+  double loss_edge = 0;      // fraction of time with the alert queue full
+  double recovery_full = 0;  // fraction of time with the unit queue full
+  double mean_alerts = 0;    // time-weighted mean queue lengths
+  double mean_units = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t lost_arrivals = 0;  // arrivals into a full alert queue
+  double p_burst = 0;               // fraction of time in burst mode (MMPP)
+  [[nodiscard]] double loss_fraction() const {
+    return arrivals == 0 ? 0.0
+                         : static_cast<double>(lost_arrivals) /
+                               static_cast<double>(arrivals);
+  }
+};
+
+/// Simulates the queueing process for `horizon` time units starting from
+/// the NORMAL state. With `burst` set, arrivals follow the Markov-
+/// modulated process (config.lambda is ignored), starting in quiet mode.
+[[nodiscard]] QueueingResult simulate_queueing(
+    const ctmc::RecoveryStgConfig& config, double horizon, util::Rng& rng,
+    const std::optional<ctmc::BurstModel>& burst = std::nullopt);
+
+}  // namespace selfheal::sim

@@ -1,0 +1,45 @@
+// Minimal leveled logger. The recovery controller narrates what it does
+// at Debug level; benches and tests run at Warn to stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace selfheal::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-wide minimum level; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Parts>
+void log_join(LogLevel level, const Parts&... parts) {
+  if (level < log_level()) return;
+  std::ostringstream out;
+  (out << ... << parts);
+  log_message(level, out.str());
+}
+}  // namespace detail
+
+template <typename... Parts>
+void log_debug(const Parts&... parts) {
+  detail::log_join(LogLevel::Debug, parts...);
+}
+template <typename... Parts>
+void log_info(const Parts&... parts) {
+  detail::log_join(LogLevel::Info, parts...);
+}
+template <typename... Parts>
+void log_warn(const Parts&... parts) {
+  detail::log_join(LogLevel::Warn, parts...);
+}
+template <typename... Parts>
+void log_error(const Parts&... parts) {
+  detail::log_join(LogLevel::Error, parts...);
+}
+
+}  // namespace selfheal::util

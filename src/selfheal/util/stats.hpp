@@ -1,0 +1,88 @@
+// Streaming statistics and histograms used by the simulators and benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace selfheal::util {
+
+/// Welford's online algorithm: numerically stable running mean/variance.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || count_ == 1) min_ = x;
+    if (x > max_ || count_ == 1) max_ = x;
+    sum_ += x;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// first/last bucket so no observation is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double bucket_lo(std::size_t i) const noexcept;
+  /// Approximate quantile (q in [0,1]) from bucket midpoints.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  /// Renders an ASCII bar chart, one line per bucket.
+  [[nodiscard]] std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bucket_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Time-weighted average of a piecewise-constant signal (queue lengths,
+/// state occupancy). Feed (timestamp, new_value) transitions in order.
+class TimeWeighted {
+ public:
+  void observe(double time, double value) noexcept;
+  /// Closes the observation window at `time` and returns the average.
+  [[nodiscard]] double average(double end_time) const noexcept;
+  [[nodiscard]] double current() const noexcept { return value_; }
+
+ private:
+  bool started_ = false;
+  double last_time_ = 0.0;
+  double value_ = 0.0;
+  double weighted_sum_ = 0.0;
+  double start_time_ = 0.0;
+};
+
+}  // namespace selfheal::util

@@ -1,0 +1,95 @@
+#include "selfheal/util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace selfheal::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table row has " + std::to_string(cells.size()) +
+                                " cells, expected " + std::to_string(headers_.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::format_cell(double v) const {
+  std::ostringstream out;
+  out << std::setprecision(precision_) << v;
+  return out.str();
+}
+
+std::string Table::render(const std::string& line_prefix) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out << line_prefix;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      if (c + 1 < row.size()) out << "  ";
+    }
+    out << "\n";
+  };
+
+  emit_row(headers_);
+  out << line_prefix;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    out << std::string(widths[c], '-');
+    if (c + 1 < widths.size()) out << "  ";
+  }
+  out << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string Table::render_csv() const {
+  auto quote = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (const char c : cell) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << quote(row[c]);
+      if (c + 1 < row.size()) out << ",";
+    }
+    out << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void Table::append_csv(const std::string& path, const std::string& title) const {
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    std::fprintf(stderr, "Table::append_csv: cannot open %s\n", path.c_str());
+    return;
+  }
+  out << "# " << title << "\n" << render_csv() << "\n";
+}
+
+std::string banner(const std::string& title) {
+  return "\n== " + title + " ==\n";
+}
+
+}  // namespace selfheal::util

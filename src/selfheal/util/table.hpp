@@ -1,0 +1,61 @@
+// Column-aligned plain-text tables. Every bench binary in bench/ prints
+// its figure/table series through this so outputs are uniform and easy
+// to diff against EXPERIMENTS.md.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace selfheal::util {
+
+/// Builds a fixed-schema table row by row, then renders it aligned.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells with `precision` digits.
+  template <typename... Cells>
+  void add(const Cells&... cells) {
+    std::vector<std::string> row;
+    row.reserve(sizeof...(cells));
+    (row.push_back(format_cell(cells)), ...);
+    add_row(std::move(row));
+  }
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with a header rule; optionally prefix every line (e.g. "# ").
+  [[nodiscard]] std::string render(const std::string& line_prefix = "") const;
+
+  /// Renders as CSV (RFC-4180 quoting where needed) -- plot-ready output
+  /// for the figure benches.
+  [[nodiscard]] std::string render_csv() const;
+
+  /// Appends the CSV rendering to `path`, prefixed by a "# title" line.
+  /// Errors are reported on stderr, not thrown (benches keep running).
+  void append_csv(const std::string& path, const std::string& title) const;
+
+  void set_precision(int digits) noexcept { precision_ = digits; }
+
+ private:
+  [[nodiscard]] std::string format_cell(const std::string& s) const { return s; }
+  [[nodiscard]] std::string format_cell(const char* s) const { return s; }
+  [[nodiscard]] std::string format_cell(double v) const;
+  [[nodiscard]] std::string format_cell(int v) const { return std::to_string(v); }
+  [[nodiscard]] std::string format_cell(long v) const { return std::to_string(v); }
+  [[nodiscard]] std::string format_cell(unsigned v) const { return std::to_string(v); }
+  [[nodiscard]] std::string format_cell(std::size_t v) const { return std::to_string(v); }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  int precision_ = 6;
+};
+
+/// Section banner used by the figure benches ("== Figure 4(a) ... ==").
+[[nodiscard]] std::string banner(const std::string& title);
+
+}  // namespace selfheal::util

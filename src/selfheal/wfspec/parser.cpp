@@ -1,0 +1,145 @@
+#include "selfheal/wfspec/parser.hpp"
+
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace selfheal::wfspec {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) {
+    if (token[0] == '#') break;  // comment to end of line
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& message) {
+  throw std::invalid_argument("workflow DSL line " + std::to_string(line_no) + ": " +
+                              message);
+}
+
+}  // namespace
+
+WorkflowSpec parse_workflow(const std::string& text, ObjectCatalog& catalog) {
+  std::optional<WorkflowSpec> spec;
+  struct PendingEdge {
+    std::string from;
+    std::string to;
+    std::size_t line_no;
+  };
+  struct PendingSelector {
+    std::string task;
+    std::string object;
+    std::size_t line_no;
+  };
+  std::vector<PendingEdge> edges;
+  std::vector<PendingSelector> selectors;
+
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const auto& keyword = tokens[0];
+
+    if (keyword == "workflow") {
+      if (spec) fail(line_no, "duplicate 'workflow' line");
+      if (tokens.size() != 2) fail(line_no, "expected: workflow NAME");
+      spec.emplace(tokens[1], catalog);
+    } else if (keyword == "task") {
+      if (!spec) fail(line_no, "'task' before 'workflow'");
+      if (tokens.size() < 2) fail(line_no, "expected: task NAME ...");
+      std::vector<std::string> reads, writes;
+      std::string selector;
+      enum class Section { kNone, kReads, kWrites } section = Section::kNone;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        const auto& tok = tokens[i];
+        if (tok == "reads") {
+          section = Section::kReads;
+        } else if (tok == "writes") {
+          section = Section::kWrites;
+        } else if (tok == "selector") {
+          if (i + 1 >= tokens.size()) fail(line_no, "'selector' needs an object");
+          selector = tokens[++i];
+          section = Section::kNone;
+        } else if (section == Section::kReads) {
+          reads.push_back(tok);
+        } else if (section == Section::kWrites) {
+          writes.push_back(tok);
+        } else {
+          fail(line_no, "unexpected token '" + tok + "'");
+        }
+      }
+      spec->add_task(tokens[1], reads, writes);
+      if (!selector.empty()) selectors.push_back({tokens[1], selector, line_no});
+    } else if (keyword == "edge") {
+      if (!spec) fail(line_no, "'edge' before 'workflow'");
+      if (tokens.size() < 3) fail(line_no, "expected: edge FROM TO [TO...]");
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        edges.push_back({tokens[1], tokens[i], line_no});
+      }
+    } else {
+      fail(line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+
+  if (!spec) throw std::invalid_argument("workflow DSL: no 'workflow' line");
+
+  for (const auto& edge : edges) {
+    try {
+      spec->add_edge(spec->task_by_name(edge.from), spec->task_by_name(edge.to));
+    } catch (const std::out_of_range& e) {
+      fail(edge.line_no, e.what());
+    } catch (const std::invalid_argument& e) {
+      fail(edge.line_no, e.what());
+    }
+  }
+  for (const auto& sel : selectors) {
+    try {
+      spec->set_selector(spec->task_by_name(sel.task), sel.object);
+    } catch (const std::exception& e) {
+      fail(sel.line_no, e.what());
+    }
+  }
+  spec->validate();
+  return std::move(*spec);
+}
+
+std::string to_dsl(const WorkflowSpec& spec) {
+  std::ostringstream out;
+  out << "workflow " << spec.name() << "\n";
+  const auto& catalog = spec.catalog();
+  for (std::size_t n = 0; n < spec.task_count(); ++n) {
+    const auto& task = spec.task(static_cast<TaskId>(n));
+    out << "task " << task.name;
+    if (!task.reads.empty()) {
+      out << " reads";
+      for (ObjectId o : task.reads) out << " " << catalog.name(o);
+    }
+    if (!task.writes.empty()) {
+      out << " writes";
+      for (ObjectId o : task.writes) out << " " << catalog.name(o);
+    }
+    if (task.selector) out << " selector " << catalog.name(*task.selector);
+    out << "\n";
+  }
+  for (std::size_t n = 0; n < spec.task_count(); ++n) {
+    const auto& succ = spec.graph().successors(static_cast<TaskId>(n));
+    if (succ.empty()) continue;
+    out << "edge " << spec.task(static_cast<TaskId>(n)).name;
+    for (TaskId to : succ) out << " " << spec.task(to).name;
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace selfheal::wfspec

@@ -1,0 +1,35 @@
+// Plain-text workflow DSL.
+//
+// Line-oriented format (# starts a comment; blank lines ignored):
+//
+//   workflow order_processing
+//   task t1 writes order
+//   task t2 reads order writes route selector order
+//   task t3 reads route writes invoice
+//   task t4 reads route writes refund
+//   task t5 reads invoice refund writes ledger
+//   edge t1 t2
+//   edge t2 t3 t4        # branch: t2 chooses t3 or t4
+//   edge t3 t5
+//   edge t4 t5
+//
+// `reads`/`writes`/`selector` sections may appear in any order after the
+// task name. The parsed spec is validated before being returned.
+#pragma once
+
+#include <string>
+
+#include "selfheal/wfspec/workflow_spec.hpp"
+
+namespace selfheal::wfspec {
+
+/// Parses one workflow description. Throws std::invalid_argument with a
+/// line-numbered message on malformed input, std::logic_error if the
+/// resulting spec fails validation.
+[[nodiscard]] WorkflowSpec parse_workflow(const std::string& text,
+                                          ObjectCatalog& catalog);
+
+/// Serialises a spec back to the DSL (round-trips through parse_workflow).
+[[nodiscard]] std::string to_dsl(const WorkflowSpec& spec);
+
+}  // namespace selfheal::wfspec

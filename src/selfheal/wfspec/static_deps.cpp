@@ -1,0 +1,144 @@
+#include "selfheal/wfspec/static_deps.hpp"
+
+#include "selfheal/graph/traversal.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <stdexcept>
+
+namespace selfheal::wfspec {
+
+namespace {
+bool intersects(const std::vector<ObjectId>& a, const std::vector<ObjectId>& b) {
+  return std::any_of(a.begin(), a.end(), [&](ObjectId o) {
+    return std::find(b.begin(), b.end(), o) != b.end();
+  });
+}
+}  // namespace
+
+StaticDependence::StaticDependence(const WorkflowSpec& spec) : spec_(&spec) {
+  if (!spec.validated()) {
+    throw std::logic_error("StaticDependence: spec must be validated");
+  }
+  const auto n = spec.task_count();
+
+  // "Some path orders ti before tj" == tj reachable from ti by >= 1
+  // edge (transitive_closure handles the self-on-a-cycle case).
+  reach_ = graph::transitive_closure(spec.graph());
+
+  // Forward closure of the one-step may-flow relation.
+  may_flow_closure_.assign(n, std::vector<bool>(n, false));
+  for (std::size_t i = 0; i < n; ++i) {
+    std::deque<TaskId> queue{static_cast<TaskId>(i)};
+    std::vector<bool> seen(n, false);
+    while (!queue.empty()) {
+      const auto from = queue.front();
+      queue.pop_front();
+      for (std::size_t j = 0; j < n; ++j) {
+        const auto to = static_cast<TaskId>(j);
+        if (seen[j] || !may_flow(from, to)) continue;
+        seen[j] = true;
+        may_flow_closure_[i][j] = true;
+        queue.push_back(to);
+      }
+    }
+  }
+}
+
+bool StaticDependence::ordered(TaskId ti, TaskId tj) const {
+  return reach_[static_cast<std::size_t>(ti)][static_cast<std::size_t>(tj)];
+}
+
+bool StaticDependence::may_flow(TaskId ti, TaskId tj) const {
+  if (!ordered(ti, tj)) return false;
+  return intersects(spec_->task(ti).writes, spec_->task(tj).reads);
+}
+
+bool StaticDependence::may_anti(TaskId ti, TaskId tj) const {
+  if (!ordered(ti, tj)) return false;
+  return intersects(spec_->task(ti).reads, spec_->task(tj).writes);
+}
+
+bool StaticDependence::may_output(TaskId ti, TaskId tj) const {
+  if (!ordered(ti, tj)) return false;
+  return intersects(spec_->task(ti).writes, spec_->task(tj).writes);
+}
+
+bool StaticDependence::control(TaskId ti, TaskId tj) const {
+  return spec_->control_dependent(ti, tj);
+}
+
+bool StaticDependence::may_flow_transitive(TaskId ti, TaskId tj) const {
+  return may_flow_closure_[static_cast<std::size_t>(ti)][static_cast<std::size_t>(tj)];
+}
+
+std::vector<TaskId> StaticDependence::blast_radius(TaskId source) const {
+  // Closure over may-flow and control, interleaved (a controlled branch
+  // target can spread damage through its own writes).
+  const auto n = spec_->task_count();
+  std::vector<bool> seen(n, false);
+  std::deque<TaskId> queue{source};
+  seen[static_cast<std::size_t>(source)] = true;
+  while (!queue.empty()) {
+    const auto from = queue.front();
+    queue.pop_front();
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto to = static_cast<TaskId>(j);
+      if (seen[j]) continue;
+      if (may_flow(from, to) || control(from, to)) {
+        seen[j] = true;
+        queue.push_back(to);
+      }
+    }
+  }
+  std::vector<TaskId> result;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (seen[j] && static_cast<TaskId>(j) != source) {
+      result.push_back(static_cast<TaskId>(j));
+    }
+  }
+  return result;
+}
+
+std::string StaticDependence::summary() const {
+  std::ostringstream out;
+  const auto n = spec_->task_count();
+  const auto& catalog = spec_->catalog();
+  auto carriers = [&](const std::vector<ObjectId>& a, const std::vector<ObjectId>& b) {
+    std::string names;
+    for (const auto o : a) {
+      if (std::find(b.begin(), b.end(), o) != b.end()) {
+        if (!names.empty()) names += ",";
+        names += catalog.name(o);
+      }
+    }
+    return names;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto ti = static_cast<TaskId>(i);
+      const auto tj = static_cast<TaskId>(j);
+      const auto& a = spec_->task(ti);
+      const auto& b = spec_->task(tj);
+      if (may_flow(ti, tj)) {
+        out << a.name << " ->f " << b.name << " [" << carriers(a.writes, b.reads)
+            << "]\n";
+      }
+      if (may_anti(ti, tj)) {
+        out << a.name << " ->a " << b.name << " [" << carriers(a.reads, b.writes)
+            << "]\n";
+      }
+      if (may_output(ti, tj)) {
+        out << a.name << " ->o " << b.name << " [" << carriers(a.writes, b.writes)
+            << "]\n";
+      }
+      if (control(ti, tj)) {
+        out << a.name << " ->c " << b.name << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace selfheal::wfspec

@@ -1,0 +1,54 @@
+// Compile-time dependence analysis of a workflow specification.
+//
+// Section IV.B: "Our theories depend on data and control dependence
+// relations that can be calculated when compiling workflows." This is
+// that calculation: conservative MAY-dependences between spec tasks
+// (a pair may depend if some execution path orders them and their
+// read/write sets intersect). The run-time analyzer (selfheal/deps)
+// refines these against the actual system log; the static form is what
+// a deployment would ship to recovery nodes -- note the paper's privacy
+// point (Section VII): exposing only dependence relations protects the
+// full workflow specification.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "selfheal/wfspec/workflow_spec.hpp"
+
+namespace selfheal::wfspec {
+
+class StaticDependence {
+ public:
+  /// `spec` must be validated and outlive this object.
+  explicit StaticDependence(const WorkflowSpec& spec);
+
+  /// t_j MAY be flow dependent on t_i: t_i can precede t_j on some path
+  /// and writes something t_j reads.
+  [[nodiscard]] bool may_flow(TaskId ti, TaskId tj) const;
+  /// t_j MAY be anti-flow dependent on t_i (t_j overwrites a read of t_i).
+  [[nodiscard]] bool may_anti(TaskId ti, TaskId tj) const;
+  /// t_i and t_j MAY be output dependent (common written object).
+  [[nodiscard]] bool may_output(TaskId ti, TaskId tj) const;
+  /// Control dependence, straight from the spec (exact, not "may").
+  [[nodiscard]] bool control(TaskId ti, TaskId tj) const;
+
+  /// Transitive may-flow: damage at t_i can reach t_j through data.
+  [[nodiscard]] bool may_flow_transitive(TaskId ti, TaskId tj) const;
+
+  /// The spec tasks damage at `source` could reach at all (data or
+  /// control, transitively) -- the static worst-case blast radius.
+  [[nodiscard]] std::vector<TaskId> blast_radius(TaskId source) const;
+
+  /// Dependence summary, one line per related pair ("t1 ->f t2 [o1]").
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  [[nodiscard]] bool ordered(TaskId ti, TaskId tj) const;
+
+  const WorkflowSpec* spec_;
+  std::vector<std::vector<bool>> reach_;  // >= 1 edge reachability
+  std::vector<std::vector<bool>> may_flow_closure_;
+};
+
+}  // namespace selfheal::wfspec

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "selfheal/ctmc/ctmc.hpp"
+#include "selfheal/ctmc/degradation.hpp"
+
+namespace {
+
+using namespace selfheal::ctmc;
+
+// Two-state birth-death chain with rates a (0->1) and b (1->0):
+// pi = (b, a) / (a+b); pi0(t) has the closed form
+// pi0(t) = b/(a+b) + (pi0(0) - b/(a+b)) e^{-(a+b)t}.
+Ctmc two_state(double a, double b) {
+  Ctmc c(2);
+  c.set_rate(0, 1, a);
+  c.set_rate(1, 0, b);
+  return c;
+}
+
+TEST(Ctmc, GeneratorInvariants) {
+  auto c = two_state(2.0, 3.0);
+  EXPECT_FALSE(c.validate().has_value());
+  EXPECT_DOUBLE_EQ(c.rate(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(c.generator()(0, 0), -2.0);
+  EXPECT_DOUBLE_EQ(c.generator()(1, 1), -3.0);
+  EXPECT_DOUBLE_EQ(c.max_exit_rate(), 3.0);
+}
+
+TEST(Ctmc, SetRateOverwritesAndFixesDiagonal) {
+  auto c = two_state(2.0, 3.0);
+  c.set_rate(0, 1, 5.0);
+  EXPECT_DOUBLE_EQ(c.generator()(0, 0), -5.0);
+  EXPECT_FALSE(c.validate().has_value());
+  c.add_rate(0, 1, 1.0);
+  EXPECT_DOUBLE_EQ(c.rate(0, 1), 6.0);
+}
+
+TEST(Ctmc, RejectsBadRates) {
+  Ctmc c(2);
+  EXPECT_THROW(c.set_rate(0, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(c.set_rate(0, 1, -1.0), std::invalid_argument);
+}
+
+TEST(Ctmc, IrreducibilityDetection) {
+  auto c = two_state(2.0, 3.0);
+  EXPECT_TRUE(c.irreducible());
+  Ctmc absorbing(2);
+  absorbing.set_rate(0, 1, 1.0);  // no way back
+  EXPECT_FALSE(absorbing.irreducible());
+}
+
+TEST(Ctmc, SteadyStateTwoStateClosedForm) {
+  const auto c = two_state(2.0, 3.0);
+  const auto pi = c.steady_state();
+  ASSERT_TRUE(pi.has_value());
+  EXPECT_NEAR((*pi)[0], 0.6, 1e-12);
+  EXPECT_NEAR((*pi)[1], 0.4, 1e-12);
+}
+
+TEST(Ctmc, SteadyStateGthMatchesLu) {
+  // An arbitrary irreducible 4-state chain.
+  Ctmc c(4);
+  c.set_rate(0, 1, 1.0);
+  c.set_rate(1, 2, 2.0);
+  c.set_rate(2, 3, 0.5);
+  c.set_rate(3, 0, 4.0);
+  c.set_rate(2, 0, 0.7);
+  c.set_rate(1, 3, 0.1);
+  const auto gth = c.steady_state();
+  const auto lu = c.steady_state_lu();
+  ASSERT_TRUE(gth.has_value());
+  ASSERT_TRUE(lu.has_value());
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR((*gth)[i], (*lu)[i], 1e-10);
+}
+
+TEST(Ctmc, SteadyStateSatisfiesBalance) {
+  Ctmc c(3);
+  c.set_rate(0, 1, 1.5);
+  c.set_rate(1, 2, 2.5);
+  c.set_rate(2, 0, 3.5);
+  c.set_rate(1, 0, 0.5);
+  const auto pi = c.steady_state();
+  ASSERT_TRUE(pi.has_value());
+  const auto piq = c.generator().left_multiply(*pi);
+  for (double x : piq) EXPECT_NEAR(x, 0.0, 1e-12);
+  EXPECT_NEAR((*pi)[0] + (*pi)[1] + (*pi)[2], 1.0, 1e-12);
+}
+
+TEST(Ctmc, SteadyStateRefusesReducible) {
+  Ctmc c(2);
+  c.set_rate(0, 1, 1.0);
+  EXPECT_FALSE(c.steady_state().has_value());
+}
+
+TEST(Ctmc, TransientMatchesClosedForm) {
+  const double a = 2.0, b = 3.0;
+  const auto c = two_state(a, b);
+  const Vector pi0{1.0, 0.0};
+  for (double t : {0.1, 0.5, 1.0, 2.0, 10.0}) {
+    const auto pi = c.transient_step(pi0, t);
+    const double expected0 =
+        b / (a + b) + (1.0 - b / (a + b)) * std::exp(-(a + b) * t);
+    EXPECT_NEAR(pi[0], expected0, 1e-9) << "t=" << t;
+    EXPECT_NEAR(pi[0] + pi[1], 1.0, 1e-12);
+  }
+}
+
+TEST(Ctmc, TransientLongHorizonReachesSteadyState) {
+  const auto c = two_state(1.0, 4.0);
+  const auto pi = c.transient_step({0.0, 1.0}, 200.0);
+  const auto steady = c.steady_state();
+  ASSERT_TRUE(steady.has_value());
+  EXPECT_NEAR(pi[0], (*steady)[0], 1e-9);
+}
+
+TEST(Ctmc, TransientSeriesIsConsistentWithSingleSteps) {
+  const auto c = two_state(2.0, 1.0);
+  const Vector pi0{0.5, 0.5};
+  const auto series = c.transient_series(pi0, {0.25, 0.5, 1.0});
+  const auto direct = c.transient_step(pi0, 1.0);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_NEAR(series[2][0], direct[0], 1e-10);
+  EXPECT_THROW(c.transient_series(pi0, {1.0, 0.5}), std::invalid_argument);
+}
+
+TEST(Ctmc, CumulativeTimeMatchesClosedForm) {
+  // Integral of pi0(t): t*b/(a+b) + (1 - b/(a+b)) (1 - e^{-(a+b)t})/(a+b).
+  const double a = 2.0, b = 3.0;
+  const auto c = two_state(a, b);
+  const double t = 2.0;
+  const auto acc = c.accumulate({1.0, 0.0}, t, 1e-3);
+  const double s = a + b;
+  const double expected_l0 =
+      t * b / s + (1.0 - b / s) * (1.0 - std::exp(-s * t)) / s;
+  EXPECT_NEAR(acc.l[0], expected_l0, 1e-5);
+  EXPECT_NEAR(acc.l[0] + acc.l[1], t, 1e-9);  // total time is conserved
+}
+
+TEST(Ctmc, Rk4AgreesWithUniformization) {
+  Ctmc c(3);
+  c.set_rate(0, 1, 1.0);
+  c.set_rate(1, 2, 2.0);
+  c.set_rate(2, 0, 0.5);
+  c.set_rate(2, 1, 0.25);
+  const Vector pi0{1.0, 0.0, 0.0};
+  const auto uni = c.accumulate(pi0, 3.0, 1e-3);
+  const auto rk4 = c.accumulate_rk4(pi0, 3.0, 1e-3);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_NEAR(uni.pi[s], rk4.pi[s], 1e-6);
+    EXPECT_NEAR(uni.l[s], rk4.l[s], 1e-5);
+  }
+}
+
+TEST(Ctmc, ExpectedReward) {
+  EXPECT_DOUBLE_EQ(expected_reward({0.25, 0.75}, {4.0, 8.0}), 7.0);
+}
+
+TEST(Ctmc, HittingTimeTwoStateClosedForm) {
+  // From state 0, the time to first reach state 1 is Exp(a): mean 1/a.
+  const auto c = two_state(2.0, 3.0);
+  const auto h = c.expected_hitting_time({false, true});
+  ASSERT_TRUE(h.has_value());
+  EXPECT_NEAR((*h)[0], 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ((*h)[1], 0.0);
+}
+
+TEST(Ctmc, HittingTimeBirthChainClosedForm) {
+  // 0 ->(a) 1 ->(b) 2: expected time 0 -> 2 is 1/a + 1/b.
+  Ctmc c(3);
+  c.set_rate(0, 1, 4.0);
+  c.set_rate(1, 2, 5.0);
+  const auto h = c.expected_hitting_time({false, false, true});
+  ASSERT_TRUE(h.has_value());
+  EXPECT_NEAR((*h)[0], 0.25 + 0.2, 1e-12);
+  EXPECT_NEAR((*h)[1], 0.2, 1e-12);
+}
+
+TEST(Ctmc, HittingTimeWithBacktracking) {
+  // 0 <->(1,1) 1 ->(1) 2: from 0, classic result h0 = 3, h1 = 2.
+  Ctmc c(3);
+  c.set_rate(0, 1, 1.0);
+  c.set_rate(1, 0, 1.0);
+  c.set_rate(1, 2, 1.0);
+  const auto h = c.expected_hitting_time({false, false, true});
+  ASSERT_TRUE(h.has_value());
+  EXPECT_NEAR((*h)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*h)[1], 2.0, 1e-12);
+}
+
+TEST(Ctmc, HittingTimeUnreachableIsInfinite) {
+  Ctmc c(3);
+  c.set_rate(0, 1, 1.0);  // state 2 unreachable from 0 and 1
+  c.set_rate(1, 0, 1.0);
+  const auto h = c.expected_hitting_time({false, false, true});
+  ASSERT_TRUE(h.has_value());
+  EXPECT_TRUE(std::isinf((*h)[0]));
+  EXPECT_TRUE(std::isinf((*h)[1]));
+  EXPECT_DOUBLE_EQ((*h)[2], 0.0);
+}
+
+TEST(Ctmc, HittingTimeRejectsSizeMismatch) {
+  const auto c = two_state(1.0, 1.0);
+  EXPECT_THROW((void)c.expected_hitting_time({true}), std::invalid_argument);
+}
+
+TEST(Degradation, ShapesAndMonotonicity) {
+  const auto c = constant_rate();
+  EXPECT_DOUBLE_EQ(c(10.0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(c(10.0, 9), 10.0);
+
+  const auto inv = power_decay(1.0);
+  EXPECT_DOUBLE_EQ(inv(10.0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(inv(10.0, 5), 2.0);
+
+  const auto inv2 = power_decay(2.0);
+  EXPECT_DOUBLE_EQ(inv2(8.0, 2), 2.0);
+
+  const auto lg = log_decay();
+  EXPECT_DOUBLE_EQ(lg(10.0, 1), 10.0);
+  EXPECT_LT(lg(10.0, 10), 10.0);
+  EXPECT_GT(lg(10.0, 10), inv(10.0, 10));  // log decays slower than 1/k
+
+  const auto lin = linear_decay(0.1, 0.05);
+  EXPECT_DOUBLE_EQ(lin(10.0, 1), 10.0);
+  EXPECT_NEAR(lin(10.0, 5), 6.0, 1e-12);
+  EXPECT_NEAR(lin(10.0, 1000), 0.5, 1e-12);  // floor kicks in
+}
+
+TEST(Degradation, ByNameAndLabels) {
+  for (const auto* name : {"const", "sqrt", "inv", "inv2", "log", "lin"}) {
+    const auto fn = degradation_by_name(name);
+    EXPECT_NEAR(fn(5.0, 1), 5.0, 1e-12) << name;
+    EXPECT_LE(fn(5.0, 7), 5.0 + 1e-12) << name;
+    EXPECT_FALSE(degradation_label(name).empty());
+  }
+  EXPECT_THROW(degradation_by_name("bogus"), std::invalid_argument);
+}
+
+TEST(DegradationProperty, AllFamiliesNonIncreasing) {
+  for (const auto* name : {"const", "sqrt", "inv", "inv2", "log", "lin"}) {
+    const auto fn = degradation_by_name(name);
+    double prev = fn(20.0, 1);
+    for (int k = 2; k <= 40; ++k) {
+      const double cur = fn(20.0, k);
+      EXPECT_LE(cur, prev + 1e-12) << name << " at k=" << k;
+      EXPECT_GT(cur, 0.0) << name << " at k=" << k;
+      prev = cur;
+    }
+  }
+}
+
+}  // namespace

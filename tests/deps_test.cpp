@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "figure1.hpp"
+#include "selfheal/deps/dependency.hpp"
+
+namespace {
+
+using namespace selfheal;
+using deps::DepKind;
+using deps::DependencyAnalyzer;
+using selfheal::testing::Figure1;
+
+/// Finds the instance of (run, task) in the log (first incarnation).
+engine::InstanceId inst(const engine::Engine& eng, engine::RunId run,
+                        wfspec::TaskId task) {
+  const auto found = eng.log().find_original(run, task, 1);
+  EXPECT_TRUE(found.has_value());
+  return *found;
+}
+
+TEST(DependencyAnalyzer, PaperExampleTasks) {
+  // Section II.C: t_x: x = a + b then t_b: b = x - 1 gives t_x ->_f t_b
+  // (b reads x) and t_x ->_a t_b (t_b overwrites b after t_x read it).
+  wfspec::ObjectCatalog catalog;
+  wfspec::WorkflowSpec wf("paper-iic", catalog);
+  const auto tx = wf.add_task("tx", {"a", "b"}, {"x"});
+  const auto tb = wf.add_task("tb", {"x"}, {"b"});
+  wf.add_edge(tx, tb);
+  wf.validate();
+  engine::Engine eng;
+  const auto r = eng.start_run(wf);
+  eng.run_all();
+
+  const DependencyAnalyzer deps(eng.log(), eng.specs_by_run());
+  const auto ix = inst(eng, r, tx);
+  const auto ib = inst(eng, r, tb);
+  EXPECT_TRUE(deps.depends(ix, ib, DepKind::kFlow));
+  EXPECT_TRUE(deps.depends(ix, ib, DepKind::kAnti));
+  EXPECT_FALSE(deps.depends(ix, ib, DepKind::kOutput));
+  EXPECT_FALSE(deps.depends(ib, ix, DepKind::kFlow));
+}
+
+TEST(DependencyAnalyzer, FlowMaskingByIntermediateWriter) {
+  // w1 writes x; w2 overwrites x; r reads x: r depends on w2, NOT w1.
+  wfspec::ObjectCatalog catalog;
+  wfspec::WorkflowSpec wf("mask", catalog);
+  const auto w1 = wf.add_task("w1", {}, {"x"});
+  const auto w2 = wf.add_task("w2", {}, {"x"});
+  const auto r = wf.add_task("r", {"x"}, {"y"});
+  wf.add_edge(w1, w2);
+  wf.add_edge(w2, r);
+  wf.validate();
+  engine::Engine eng;
+  const auto run = eng.start_run(wf);
+  eng.run_all();
+
+  const DependencyAnalyzer deps(eng.log(), eng.specs_by_run());
+  EXPECT_FALSE(deps.depends(inst(eng, run, w1), inst(eng, run, r), DepKind::kFlow));
+  EXPECT_TRUE(deps.depends(inst(eng, run, w2), inst(eng, run, r), DepKind::kFlow));
+  // Consecutive writers of x: output dependence.
+  EXPECT_TRUE(deps.depends(inst(eng, run, w1), inst(eng, run, w2), DepKind::kOutput));
+}
+
+TEST(DependencyAnalyzer, Figure1FlowEdges) {
+  const Figure1 fig;
+  const auto eng = fig.run_attacked();
+  const DependencyAnalyzer deps(eng.log(), eng.specs_by_run());
+
+  const auto i1 = inst(eng, 0, fig.t1);
+  const auto i2 = inst(eng, 0, fig.t2);
+  const auto i4 = inst(eng, 0, fig.t4);
+  const auto i8 = inst(eng, 1, fig.t8);
+  const auto i10 = inst(eng, 1, fig.t10);
+
+  EXPECT_TRUE(deps.depends(i1, i2, DepKind::kFlow));   // o1
+  EXPECT_TRUE(deps.depends(i2, i4, DepKind::kFlow));   // o2
+  EXPECT_TRUE(deps.depends(i1, i8, DepKind::kFlow));   // o1 cross-workflow
+  EXPECT_TRUE(deps.depends(i8, i10, DepKind::kFlow));  // p2
+  // t9 reads only p1 (from t7): no flow from the infected chain.
+  const auto i9 = inst(eng, 1, fig.t9);
+  EXPECT_FALSE(deps.depends(i8, i9, DepKind::kFlow));
+}
+
+TEST(DependencyAnalyzer, Figure1FlowClosureIsThePaperDamageSet) {
+  // "tasks t2, t4, t8 and t10 calculate wrong results" -- the closure of
+  // B = {t1} under flow dependence.
+  const Figure1 fig;
+  const auto eng = fig.run_attacked();
+  const DependencyAnalyzer deps(eng.log(), eng.specs_by_run());
+
+  const auto closure = deps.flow_closure({inst(eng, 0, fig.t1)});
+  std::set<std::string> names;
+  for (const auto id : closure) {
+    const auto& e = eng.log().entry(id);
+    names.insert(eng.spec_of(e.run).task(e.task).name);
+  }
+  EXPECT_EQ(names, (std::set<std::string>{"t1", "t2", "t4", "t8", "t10"}));
+}
+
+TEST(DependencyAnalyzer, Figure1ControlEdges) {
+  const Figure1 fig;
+  const auto eng = fig.run_attacked();
+  const DependencyAnalyzer deps(eng.log(), eng.specs_by_run());
+
+  const auto i2 = inst(eng, 0, fig.t2);
+  const auto controlled = deps.controlled_by(i2);
+  std::set<wfspec::TaskId> tasks;
+  for (const auto id : controlled) tasks.insert(eng.log().entry(id).task);
+  // In the attacked execution t3 and t4 executed under t2's decision; t5
+  // did not execute, t6 is unavoidable.
+  EXPECT_EQ(tasks, (std::set<wfspec::TaskId>{fig.t3, fig.t4}));
+}
+
+TEST(DependencyAnalyzer, AntiDependenceReadersBeforeNextWriter) {
+  // r1 reads x; r2 reads x; w writes x: r1 ->_a w and r2 ->_a w.
+  wfspec::ObjectCatalog catalog;
+  wfspec::WorkflowSpec wf("anti", catalog);
+  const auto r1 = wf.add_task("r1", {"x"}, {"a"});
+  const auto r2 = wf.add_task("r2", {"x"}, {"b"});
+  const auto w = wf.add_task("w", {"a", "b"}, {"x"});
+  wf.add_edge(r1, r2);
+  wf.add_edge(r2, w);
+  wf.validate();
+  engine::Engine eng;
+  const auto run = eng.start_run(wf);
+  eng.run_all();
+  const DependencyAnalyzer deps(eng.log(), eng.specs_by_run());
+  EXPECT_TRUE(deps.depends(inst(eng, run, r1), inst(eng, run, w), DepKind::kAnti));
+  EXPECT_TRUE(deps.depends(inst(eng, run, r2), inst(eng, run, w), DepKind::kAnti));
+  EXPECT_FALSE(deps.depends(inst(eng, run, r1), inst(eng, run, r2), DepKind::kAnti));
+}
+
+TEST(DependencyAnalyzer, EdgesFromAndTo) {
+  const Figure1 fig;
+  const auto eng = fig.run_attacked();
+  const DependencyAnalyzer deps(eng.log(), eng.specs_by_run());
+  const auto i1 = inst(eng, 0, fig.t1);
+  const auto out = deps.edges_from(i1);
+  EXPECT_GE(out.size(), 2u);  // t2 and t8 read o1
+  for (const auto& e : out) EXPECT_EQ(e.from, i1);
+  const auto i2 = inst(eng, 0, fig.t2);
+  const auto in = deps.edges_to(i2);
+  bool flow_from_t1 = false;
+  for (const auto& e : in) {
+    if (e.from == i1 && e.kind == DepKind::kFlow) flow_from_t1 = true;
+  }
+  EXPECT_TRUE(flow_from_t1);
+}
+
+TEST(DependencyAnalyzer, FlowControlClosureIncludesControlledTasks) {
+  const Figure1 fig;
+  const auto eng = fig.run_attacked();
+  const DependencyAnalyzer deps(eng.log(), eng.specs_by_run());
+  const auto closure = deps.flow_control_closure({inst(eng, 0, fig.t1)});
+  std::set<wfspec::TaskId> run0_tasks;
+  for (const auto id : closure) {
+    const auto& e = eng.log().entry(id);
+    if (e.run == 0) run0_tasks.insert(e.task);
+  }
+  // Everything t2 controls joins through the control edges.
+  EXPECT_TRUE(run0_tasks.count(fig.t3));
+  EXPECT_TRUE(run0_tasks.count(fig.t4));
+}
+
+TEST(DependencyAnalyzer, EffectiveViewAfterRecoveryEntries) {
+  // After undo+redo of t1, dependences must flow from the REDO entry.
+  const Figure1 fig;
+  auto eng = fig.run_attacked();
+  const auto bad = Figure1::malicious_instance(eng);
+  eng.apply_undo(bad);
+  const auto rid = eng.apply_redo(bad);
+
+  const DependencyAnalyzer deps(eng.log(), eng.specs_by_run());
+  const auto i2 = inst(eng, 0, fig.t2);
+  EXPECT_TRUE(deps.depends(rid, i2, DepKind::kFlow));
+  EXPECT_FALSE(deps.depends(bad, i2, DepKind::kFlow));
+}
+
+TEST(DependencyAnalyzer, DotRendersNodesAndColouredEdges) {
+  const Figure1 fig;
+  const auto eng = fig.run_attacked();
+  const DependencyAnalyzer deps(eng.log(), eng.specs_by_run());
+  const auto dot = deps::to_dot(deps, eng.log(), eng.specs_by_run());
+  EXPECT_NE(dot.find("digraph dependences"), std::string::npos);
+  EXPECT_NE(dot.find("t1"), std::string::npos);
+  EXPECT_NE(dot.find("#ffb3b3"), std::string::npos);  // malicious highlight
+  EXPECT_NE(dot.find("color=blue"), std::string::npos);   // flow
+  EXPECT_NE(dot.find("color=gray"), std::string::npos);   // control
+  EXPECT_NE(dot.find("label=\"o1\""), std::string::npos);  // carrying object
+}
+
+TEST(DependencyAnalyzer, DepKindNames) {
+  EXPECT_STREQ(deps::to_string(DepKind::kFlow), "flow");
+  EXPECT_STREQ(deps::to_string(DepKind::kAnti), "anti");
+  EXPECT_STREQ(deps::to_string(DepKind::kOutput), "output");
+  EXPECT_STREQ(deps::to_string(DepKind::kControl), "control");
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+// Shared test fixture: the paper's Figure 1 scenario.
+//
+// Workflow 1: t1 -> t2 -> { t3 -> t4 , t5 } -> t6   (t2 is the branch)
+// Workflow 2: t7 -> t8 -> t9 -> t10
+//
+// Object wiring (chosen so the paper's damage marks reproduce exactly):
+//   t1  writes o1                       (malicious: o1 corrupted)
+//   t2  reads o1 writes o2, selector o1 (infected; corrupt o1 flips the
+//                                        branch from P2=t5 to P1=t3)
+//   t3  reads c3 writes o3              (computes correctly -- c3 clean)
+//   t4  reads o3 o2 writes o4           (infected via o2)
+//   t5  reads o2 writes o5              (NOT executed in the attack)
+//   t6  reads o5 writes o6              (read a stale o5: Theorem 1 c4)
+//   t7  writes p1                       (clean)
+//   t8  reads p1 o1 writes p2           (infected via o1, cross-workflow)
+//   t9  reads p1 writes p3              (clean)
+//   t10 reads p2 writes p4              (infected via p2)
+//
+// The workflow name is searched (deterministically) so that the benign
+// branch choice is t5 and the corrupted choice is t3, matching the
+// paper's P1/P2 story without magic constants.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "selfheal/engine/engine.hpp"
+#include "selfheal/wfspec/workflow_spec.hpp"
+
+namespace selfheal::testing {
+
+struct Figure1 {
+  wfspec::ObjectCatalog catalog;
+  wfspec::WorkflowSpec wf1;
+  wfspec::WorkflowSpec wf2;
+  wfspec::TaskId t1, t2, t3, t4, t5, t6, t7, t8, t9, t10;
+
+  Figure1() : wf1(pick_wf1_name(), catalog), wf2("figure1-wf2", catalog) {
+    build_wf1(wf1);
+    t1 = wf1.task_by_name("t1");
+    t2 = wf1.task_by_name("t2");
+    t3 = wf1.task_by_name("t3");
+    t4 = wf1.task_by_name("t4");
+    t5 = wf1.task_by_name("t5");
+    t6 = wf1.task_by_name("t6");
+
+    t7 = wf2.add_task("t7", {}, {"p1"});
+    t8 = wf2.add_task("t8", {"p1", "o1"}, {"p2"});
+    t9 = wf2.add_task("t9", {"p1"}, {"p3"});
+    t10 = wf2.add_task("t10", {"p2"}, {"p4"});
+    wf2.add_edge(t7, t8);
+    wf2.add_edge(t8, t9);
+    wf2.add_edge(t9, t10);
+    wf2.validate();
+  }
+
+  /// Runs both workflows with t1 malicious; returns the engine after the
+  /// attacked execution completes.
+  [[nodiscard]] engine::Engine run_attacked() const {
+    engine::Engine eng;
+    const auto r1 = eng.start_run(wf1);
+    const auto r2 = eng.start_run(wf2);
+    (void)r2;
+    eng.inject_malicious(r1, t1);
+    eng.run_all();
+    return eng;
+  }
+
+  /// The malicious instance id (t1's execution) in an attacked log.
+  [[nodiscard]] static engine::InstanceId malicious_instance(
+      const engine::Engine& eng) {
+    for (const auto& e : eng.log().entries()) {
+      if (e.kind == engine::ActionKind::kMalicious) return e.id;
+    }
+    throw std::logic_error("Figure1: no malicious instance in log");
+  }
+
+ private:
+  static void build_wf1(wfspec::WorkflowSpec& wf) {
+    const auto a1 = wf.add_task("t1", {}, {"o1"});
+    const auto a2 = wf.add_task("t2", {"o1"}, {"o2"});
+    const auto a3 = wf.add_task("t3", {"c3"}, {"o3"});
+    const auto a4 = wf.add_task("t4", {"o3", "o2"}, {"o4"});
+    const auto a5 = wf.add_task("t5", {"o2"}, {"o5"});
+    const auto a6 = wf.add_task("t6", {"o5"}, {"o6"});
+    wf.add_edge(a1, a2);
+    wf.add_edge(a2, a3);  // successor index 0 = t3 (the attacked path P1)
+    wf.add_edge(a2, a5);  // successor index 1 = t5 (the benign path P2)
+    wf.add_edge(a3, a4);
+    wf.add_edge(a4, a6);
+    wf.add_edge(a5, a6);
+    wf.validate();
+  }
+
+  /// Finds a workflow name whose t1 output steers the benign choice to
+  /// t5 (index 1) and the corrupted choice to t3 (index 0).
+  static std::string pick_wf1_name() {
+    for (int salt = 0; salt < 1024; ++salt) {
+      const std::string name = "figure1-wf1-" + std::to_string(salt);
+      wfspec::ObjectCatalog probe_catalog;
+      const auto o1 = probe_catalog.intern("o1");
+      const auto seed = engine::task_seed(name, "t1");
+      const auto clean = engine::compute_output(seed, o1, 1, {});
+      const auto dirty = engine::corrupt(clean);
+      if (engine::choose_branch(clean, 2) == 1 && engine::choose_branch(dirty, 2) == 0) {
+        return name;
+      }
+    }
+    throw std::logic_error("Figure1: no suitable workflow name found");
+  }
+};
+
+}  // namespace selfheal::testing

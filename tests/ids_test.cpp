@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "figure1.hpp"
+#include "selfheal/ids/ids.hpp"
+#include "selfheal/util/stats.hpp"
+
+namespace {
+
+using namespace selfheal;
+using selfheal::testing::Figure1;
+
+TEST(AlertQueue, FifoAndCapacity) {
+  ids::AlertQueue queue(2);
+  ids::Alert a1;
+  a1.report_time = 1;
+  ids::Alert a2;
+  a2.report_time = 2;
+  ids::Alert a3;
+  a3.report_time = 3;
+  EXPECT_TRUE(queue.push(a1));
+  EXPECT_TRUE(queue.push(a2));
+  EXPECT_FALSE(queue.push(a3));  // full: lost
+  EXPECT_EQ(queue.lost(), 1u);
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_DOUBLE_EQ(queue.pop().report_time, 1.0);
+  EXPECT_DOUBLE_EQ(queue.pop().report_time, 2.0);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_THROW((void)queue.pop(), std::logic_error);
+}
+
+TEST(IdsSimulator, FullCoverageDetectsEveryMaliciousInstance) {
+  const Figure1 fig;
+  const auto eng = fig.run_attacked();
+  ids::IdsSimulator ids;
+  util::Rng rng(1);
+  const auto alerts = ids.detect(eng.log(), rng);
+  ASSERT_EQ(alerts.size(), 1u);
+  ASSERT_EQ(alerts[0].malicious.size(), 1u);
+  EXPECT_EQ(eng.log().entry(alerts[0].malicious[0]).kind,
+            engine::ActionKind::kMalicious);
+  // Report time is after the malicious commit.
+  EXPECT_GE(alerts[0].report_time,
+            static_cast<double>(eng.log().entry(alerts[0].malicious[0]).seq));
+}
+
+TEST(IdsSimulator, CleanLogYieldsNoAlerts) {
+  const Figure1 fig;
+  engine::Engine eng;
+  eng.start_run(fig.wf1);
+  eng.run_all();
+  ids::IdsSimulator ids;
+  util::Rng rng(2);
+  EXPECT_TRUE(ids.detect(eng.log(), rng).empty());
+}
+
+TEST(IdsSimulator, MissedDetectionsGoToAdminSweep) {
+  const Figure1 fig;
+  const auto eng = fig.run_attacked();
+  ids::IdsConfig config;
+  config.coverage = 0.0;  // the IDS misses everything
+  config.admin_sweep_time = 500.0;
+  ids::IdsSimulator ids(config);
+  util::Rng rng(3);
+  const auto alerts = ids.detect(eng.log(), rng);
+  ASSERT_EQ(alerts.size(), 1u);  // exactly the sweep
+  EXPECT_DOUBLE_EQ(alerts[0].report_time, 500.0);
+  EXPECT_EQ(alerts[0].malicious.size(), 1u);
+}
+
+TEST(IdsSimulator, SweepDisabledDropsMissedAttacks) {
+  const Figure1 fig;
+  const auto eng = fig.run_attacked();
+  ids::IdsConfig config;
+  config.coverage = 0.0;
+  config.admin_sweep_time = -1.0;  // disabled
+  ids::IdsSimulator ids(config);
+  util::Rng rng(4);
+  EXPECT_TRUE(ids.detect(eng.log(), rng).empty());
+}
+
+TEST(IdsSimulator, AlertsSortedByReportTime) {
+  // Two attacks; with random delays the alerts must still come out
+  // sorted.
+  const Figure1 fig;
+  engine::Engine eng;
+  const auto r1 = eng.start_run(fig.wf1);
+  const auto r2 = eng.start_run(fig.wf2);
+  eng.inject_malicious(r1, fig.t1);
+  eng.inject_malicious(r2, fig.t7);
+  eng.run_all();
+  ids::IdsConfig config;
+  config.mean_detection_delay = 50.0;
+  ids::IdsSimulator ids(config);
+  util::Rng rng(5);
+  const auto alerts = ids.detect(eng.log(), rng);
+  ASSERT_EQ(alerts.size(), 2u);
+  EXPECT_LE(alerts[0].report_time, alerts[1].report_time);
+}
+
+TEST(IdsSimulator, DelayScalesWithConfig) {
+  const Figure1 fig;
+  const auto eng = fig.run_attacked();
+  util::RunningStats short_delays, long_delays;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    util::Rng rng(seed);
+    ids::IdsConfig fast;
+    fast.mean_detection_delay = 1.0;
+    const auto a = ids::IdsSimulator(fast).detect(eng.log(), rng);
+    short_delays.add(a[0].report_time);
+    ids::IdsConfig slow;
+    slow.mean_detection_delay = 20.0;
+    util::Rng rng2(seed);
+    const auto b = ids::IdsSimulator(slow).detect(eng.log(), rng2);
+    long_delays.add(b[0].report_time);
+  }
+  EXPECT_LT(short_delays.mean() + 5, long_delays.mean());
+}
+
+}  // namespace

@@ -1,0 +1,225 @@
+// Property-based recovery tests over random attacked workloads.
+//
+// For every seed, a random multi-workflow scenario is executed with
+// injected malicious tasks; recovery must then restore the system to the
+// clean-oracle state (Definition 2 strict correctness), and the
+// analyzer/scheduler invariants of Theorems 1-2 must hold.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "selfheal/recovery/analyzer.hpp"
+#include "selfheal/recovery/controller.hpp"
+#include "selfheal/recovery/correctness.hpp"
+#include "selfheal/recovery/scheduler.hpp"
+#include "selfheal/sim/workload.hpp"
+
+namespace {
+
+using namespace selfheal;
+
+class RecoveryProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RecoveryProperty, RandomScenarioRecoversToOracle) {
+  auto scenario = sim::make_attack_scenario(GetParam(), /*n_workflows=*/4,
+                                            /*n_attacks=*/2);
+  auto& eng = *scenario.engine;
+  ASSERT_FALSE(scenario.malicious.empty());
+
+  // The attack corrupts observable state: a malicious task's surviving
+  // writes differ from the oracle's values.
+  const recovery::CorrectnessChecker checker(eng);
+  EXPECT_FALSE(checker.check().strict_correct());
+
+  const recovery::RecoveryAnalyzer analyzer(eng);
+  const auto plan = analyzer.analyze(scenario.malicious);
+
+  // Theorem 1 c1: every reported malicious instance is damaged.
+  for (const auto id : plan.malicious) {
+    EXPECT_TRUE(plan.is_damaged(id));
+  }
+  // Theorem 2 split is a partition of the damaged set.
+  std::set<engine::InstanceId> redo_union(plan.definite_redos.begin(),
+                                          plan.definite_redos.end());
+  for (const auto& c : plan.candidate_redos) {
+    EXPECT_FALSE(redo_union.count(c.instance));
+    redo_union.insert(c.instance);
+  }
+  EXPECT_EQ(redo_union.size(), plan.damaged.size());
+  // Candidates never overlap the damaged set.
+  for (const auto& c : plan.candidate_undos) {
+    EXPECT_FALSE(plan.is_damaged(c.instance));
+  }
+
+  recovery::RecoveryScheduler scheduler(eng);
+  const auto outcome = scheduler.execute(plan);
+
+  // Scheduler enacts only what the plan allows.
+  std::set<engine::InstanceId> undoable(plan.damaged.begin(), plan.damaged.end());
+  for (const auto& c : plan.candidate_undos) undoable.insert(c.instance);
+  for (const auto id : outcome.undone) {
+    EXPECT_TRUE(undoable.count(id)) << "seed " << GetParam();
+  }
+  // Everything damaged was undone.
+  for (const auto id : plan.damaged) {
+    EXPECT_TRUE(outcome.was_undone(id));
+  }
+  // Orphans are undone and not redone.
+  for (const auto id : outcome.orphaned) {
+    EXPECT_TRUE(outcome.was_undone(id));
+    EXPECT_FALSE(outcome.was_redone(id));
+  }
+
+  // Definition 2: strict correctness after recovery.
+  const auto report = recovery::CorrectnessChecker(eng).check();
+  EXPECT_TRUE(report.complete) << "seed " << GetParam() << ": " << report.summary;
+  EXPECT_TRUE(report.consistent) << "seed " << GetParam() << ": " << report.summary;
+  EXPECT_TRUE(report.safe) << "seed " << GetParam() << ": " << report.summary;
+}
+
+TEST_P(RecoveryProperty, AlertsOneByOneThroughControllerAlsoRecover) {
+  auto scenario = sim::make_attack_scenario(GetParam() * 7919 + 1, 3, 2);
+  auto& eng = *scenario.engine;
+  if (scenario.malicious.empty()) GTEST_SKIP();
+
+  recovery::SelfHealingController controller(eng);
+  for (const auto id : scenario.malicious) {
+    ids::Alert alert;
+    alert.malicious.push_back(id);
+    controller.submit_alert(alert);
+  }
+  controller.drain();
+  EXPECT_EQ(controller.state(), recovery::SystemState::kNormal);
+
+  const auto report = recovery::CorrectnessChecker(eng).check();
+  EXPECT_TRUE(report.strict_correct())
+      << "seed " << GetParam() << ": " << report.summary;
+}
+
+TEST_P(RecoveryProperty, RecoveryIsIdempotentOnRandomScenarios) {
+  auto scenario = sim::make_attack_scenario(GetParam() * 31 + 17, 3, 1);
+  auto& eng = *scenario.engine;
+  ASSERT_FALSE(scenario.malicious.empty());
+
+  recovery::RecoveryScheduler scheduler(eng);
+  scheduler.execute(recovery::RecoveryAnalyzer(eng).analyze(scenario.malicious));
+  const auto snapshot = eng.store().snapshot();
+
+  const auto plan2 = recovery::RecoveryAnalyzer(eng).analyze(scenario.malicious);
+  EXPECT_TRUE(plan2.damaged.empty()) << "seed " << GetParam();
+  const auto outcome2 = scheduler.execute(plan2);
+  EXPECT_TRUE(outcome2.undone.empty());
+  EXPECT_TRUE(outcome2.repair_entries.empty());
+  EXPECT_EQ(eng.store().snapshot(), snapshot);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryProperty,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+// Heavier scenarios: more workflows, more attacks, more sharing.
+class RecoveryPropertyHeavy : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RecoveryPropertyHeavy, ManyAttacksManyWorkflows) {
+  sim::WorkloadConfig workload;
+  workload.min_tasks = 8;
+  workload.max_tasks = 18;
+  workload.branch_prob = 0.5;
+  workload.shared_object_prob = 0.4;
+  auto scenario = sim::make_attack_scenario(GetParam(), 6, 4, workload);
+  auto& eng = *scenario.engine;
+  ASSERT_FALSE(scenario.malicious.empty());
+
+  recovery::RecoveryScheduler scheduler(eng);
+  scheduler.execute(recovery::RecoveryAnalyzer(eng).analyze(scenario.malicious));
+
+  const auto report = recovery::CorrectnessChecker(eng).check();
+  EXPECT_TRUE(report.strict_correct())
+      << "seed " << GetParam() << ": " << report.summary;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryPropertyHeavy,
+                         ::testing::Range<std::uint64_t>(100, 120));
+
+// Theorem 1 as a checkable property: ground-truth "incorrect data"
+// (Axiom 1) is decidable by comparing the attacked execution's outputs
+// against the benign oracle's. The analyzer's damage set must be SOUND
+// (everything it marks damaged really is incorrect or malicious) and,
+// together with the candidate sets, COMPLETE (everything incorrect or
+// wrongly-executed is covered).
+class TheoremOne : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TheoremOne, DamageSetSoundAndCandidateCoveredComplete) {
+  auto scenario = sim::make_attack_scenario(GetParam() * 1031 + 5, 4, 2);
+  auto& eng = *scenario.engine;
+  ASSERT_FALSE(scenario.malicious.empty());
+
+  // Oracle: the benign execution under the same round-robin interleave
+  // (the scenario is freshly attacked, so slots equal the plain run's).
+  engine::Engine oracle(eng.config());
+  for (std::size_t r = 0; r < eng.run_count(); ++r) {
+    oracle.start_run(eng.spec_of(static_cast<engine::RunId>(r)));
+  }
+  oracle.run_all();
+
+  // Ground truth per original instance: incorrect outputs, or executed
+  // although the oracle never executes it ("should not have been
+  // executed", Axiom 1 condition 1).
+  std::set<engine::InstanceId> incorrect;
+  for (const auto& e : eng.log().entries()) {
+    if (!e.is_original()) continue;
+    const auto twin = oracle.log().find_original(e.run, e.task, e.incarnation);
+    if (!twin) {
+      incorrect.insert(e.id);  // off the benign path
+    } else if (oracle.log().entry(*twin).written_values != e.written_values) {
+      incorrect.insert(e.id);
+    }
+  }
+
+  const recovery::RecoveryAnalyzer analyzer(eng);
+  const auto plan = analyzer.analyze(scenario.malicious);
+
+  // SOUNDNESS: plan.damaged only contains genuinely incorrect instances.
+  for (const auto id : plan.damaged) {
+    EXPECT_TRUE(incorrect.count(id))
+        << "seed " << GetParam() << ": instance " << id
+        << " marked damaged but its data is correct";
+  }
+  // COMPLETENESS: every incorrect instance is damaged or a candidate.
+  std::set<engine::InstanceId> covered(plan.damaged.begin(), plan.damaged.end());
+  for (const auto& c : plan.candidate_undos) covered.insert(c.instance);
+  for (const auto id : incorrect) {
+    EXPECT_TRUE(covered.count(id))
+        << "seed " << GetParam() << ": incorrect instance " << id
+        << " not covered by Theorem 1";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TheoremOne, ::testing::Range<std::uint64_t>(1, 25));
+
+// Cyclic workflows: loops whose lap count is data-dependent, so an
+// attack can change how often the loop body runs. Recovery must
+// reconcile incarnation counts and still reach the oracle state.
+class RecoveryPropertyCyclic : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RecoveryPropertyCyclic, LoopedWorkflowsRecoverToOracle) {
+  sim::WorkloadConfig workload;
+  workload.loop_prob = 1.0;  // every workflow tries to close a loop
+  engine::EngineConfig engine_config;
+  engine_config.max_incarnations = 512;
+  auto scenario =
+      sim::make_attack_scenario(GetParam(), 3, 2, workload, engine_config);
+  auto& eng = *scenario.engine;
+  ASSERT_FALSE(scenario.malicious.empty());
+
+  recovery::RecoveryScheduler scheduler(eng);
+  scheduler.execute(recovery::RecoveryAnalyzer(eng).analyze(scenario.malicious));
+
+  const auto report = recovery::CorrectnessChecker(eng).check();
+  EXPECT_TRUE(report.strict_correct())
+      << "seed " << GetParam() << ": " << report.summary;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryPropertyCyclic,
+                         ::testing::Range<std::uint64_t>(200, 215));
+
+}  // namespace

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "figure1.hpp"
+#include "selfheal/deps/dependency.hpp"
+#include "selfheal/sim/workload.hpp"
+#include "selfheal/wfspec/static_deps.hpp"
+
+namespace {
+
+using namespace selfheal;
+using selfheal::testing::Figure1;
+using wfspec::StaticDependence;
+
+TEST(StaticDependence, Figure1MayFlow) {
+  const Figure1 fig;
+  const StaticDependence deps(fig.wf1);
+  EXPECT_TRUE(deps.may_flow(fig.t1, fig.t2));   // o1
+  EXPECT_TRUE(deps.may_flow(fig.t2, fig.t4));   // o2
+  EXPECT_TRUE(deps.may_flow(fig.t2, fig.t5));   // o2
+  EXPECT_TRUE(deps.may_flow(fig.t5, fig.t6));   // o5
+  EXPECT_TRUE(deps.may_flow(fig.t3, fig.t4));   // o3
+  EXPECT_FALSE(deps.may_flow(fig.t2, fig.t1));  // wrong direction
+  EXPECT_FALSE(deps.may_flow(fig.t3, fig.t5));  // no path orders them
+  EXPECT_FALSE(deps.may_flow(fig.t1, fig.t3));  // no object overlap
+}
+
+TEST(StaticDependence, Figure1TransitiveFlow) {
+  const Figure1 fig;
+  const StaticDependence deps(fig.wf1);
+  EXPECT_TRUE(deps.may_flow_transitive(fig.t1, fig.t4));  // t1->t2->t4
+  EXPECT_TRUE(deps.may_flow_transitive(fig.t1, fig.t6));  // via t5
+  EXPECT_FALSE(deps.may_flow_transitive(fig.t6, fig.t1));
+}
+
+TEST(StaticDependence, ControlMatchesSpec) {
+  const Figure1 fig;
+  const StaticDependence deps(fig.wf1);
+  EXPECT_TRUE(deps.control(fig.t2, fig.t3));
+  EXPECT_TRUE(deps.control(fig.t2, fig.t5));
+  EXPECT_FALSE(deps.control(fig.t2, fig.t6));
+}
+
+TEST(StaticDependence, BlastRadiusOfTheStartTask) {
+  // Statically, damage at t1 can reach every other wf1 task (through
+  // data or the branch decision).
+  const Figure1 fig;
+  const StaticDependence deps(fig.wf1);
+  const auto radius = deps.blast_radius(fig.t1);
+  EXPECT_EQ(radius.size(), fig.wf1.task_count() - 1);
+}
+
+TEST(StaticDependence, SummaryListsRelations) {
+  const Figure1 fig;
+  const StaticDependence deps(fig.wf1);
+  const auto text = deps.summary();
+  EXPECT_NE(text.find("t1 ->f t2 [o1]"), std::string::npos);
+  EXPECT_NE(text.find("t2 ->c t3"), std::string::npos);
+  EXPECT_NE(text.find("t5 ->f t6 [o5]"), std::string::npos);
+}
+
+TEST(StaticDependence, RequiresValidatedSpec) {
+  wfspec::ObjectCatalog catalog;
+  wfspec::WorkflowSpec raw("raw", catalog);
+  raw.add_task("a", {}, {"x"});
+  EXPECT_THROW(StaticDependence{raw}, std::logic_error);
+}
+
+TEST(StaticDependence, AntiAndOutputOnSharedObject) {
+  wfspec::ObjectCatalog catalog;
+  wfspec::WorkflowSpec wf("rw", catalog);
+  const auto a = wf.add_task("a", {"x"}, {"y"});
+  const auto b = wf.add_task("b", {"y"}, {"x"});   // overwrites a's read
+  const auto c = wf.add_task("c", {}, {"y"});      // second writer of y
+  wf.add_edge(a, b);
+  wf.add_edge(b, c);
+  wf.validate();
+  const StaticDependence deps(wf);
+  EXPECT_TRUE(deps.may_anti(a, b));    // x
+  EXPECT_TRUE(deps.may_anti(b, c));    // c overwrites y after b read it
+  EXPECT_TRUE(deps.may_output(a, c));  // y
+  EXPECT_FALSE(deps.may_anti(a, c));   // a reads x; c writes only y
+}
+
+TEST(StaticDependence, SelfDependenceOnlyThroughLoops) {
+  wfspec::ObjectCatalog catalog;
+  wfspec::WorkflowSpec wf("loop", catalog);
+  const auto s = wf.add_task("s", {}, {"k"});
+  const auto a = wf.add_task("a", {"k", "x"}, {"x"});  // reads+writes x
+  const auto b = wf.add_task("b", {"x"}, {"done"});
+  wf.add_edge(s, a);
+  wf.add_edge(a, a);  // self loop
+  wf.add_edge(a, b);
+  wf.validate();
+  const StaticDependence deps(wf);
+  EXPECT_TRUE(deps.may_flow(a, a));  // next incarnation reads this one's x
+  const StaticDependence acyclic(Figure1{}.wf1);
+  // In an acyclic workflow nothing may depend on itself.
+  const auto& fig_wf = Figure1{}.wf1;
+  const StaticDependence fig_deps(fig_wf);
+  for (std::size_t t = 0; t < fig_wf.task_count(); ++t) {
+    EXPECT_FALSE(fig_deps.may_flow(static_cast<wfspec::TaskId>(t),
+                                   static_cast<wfspec::TaskId>(t)));
+  }
+}
+
+// Consistency property: every runtime flow edge (same-run) must be
+// predicted by the static MAY analysis.
+class StaticVsRuntime : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StaticVsRuntime, RuntimeFlowEdgesAreStaticallyPredicted) {
+  const auto scenario = sim::make_attack_scenario(GetParam(), 3, 1);
+  const auto& eng = *scenario.engine;
+  const deps::DependencyAnalyzer runtime(eng.log(), eng.specs_by_run());
+
+  std::vector<StaticDependence> statics;
+  statics.reserve(scenario.specs.size());
+  for (const auto& spec : scenario.specs) statics.emplace_back(*spec);
+
+  for (const auto& edge : runtime.edges()) {
+    if (edge.kind != deps::DepKind::kFlow) continue;
+    const auto& from = eng.log().entry(edge.from);
+    const auto& to = eng.log().entry(edge.to);
+    if (from.run != to.run) continue;  // static analysis is per-workflow
+    EXPECT_TRUE(statics[static_cast<std::size_t>(from.run)].may_flow(from.task,
+                                                                     to.task))
+        << "seed " << GetParam() << ": runtime flow edge not predicted";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StaticVsRuntime,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace

@@ -1,0 +1,191 @@
+// Tests for the Section III.D recovery strategies: strict correctness,
+// risky concurrency, and multi-version concurrency.
+#include <gtest/gtest.h>
+
+#include "figure1.hpp"
+#include "selfheal/recovery/controller.hpp"
+#include "selfheal/recovery/correctness.hpp"
+#include "selfheal/recovery/scheduler.hpp"
+
+namespace {
+
+using namespace selfheal;
+using recovery::ConcurrencyStrategy;
+using recovery::ControllerConfig;
+using recovery::SelfHealingController;
+using selfheal::testing::Figure1;
+
+ids::Alert alert_for(engine::InstanceId id) {
+  ids::Alert alert;
+  alert.malicious.push_back(id);
+  return alert;
+}
+
+TEST(Strategy, Names) {
+  EXPECT_STREQ(recovery::to_string(ConcurrencyStrategy::kStrict), "strict");
+  EXPECT_STREQ(recovery::to_string(ConcurrencyStrategy::kRisky), "risky");
+  EXPECT_STREQ(recovery::to_string(ConcurrencyStrategy::kMultiVersion),
+               "multi-version");
+}
+
+TEST(Strategy, MultiVersionDoesNotDeferNormalRuns) {
+  const Figure1 fig;
+  auto eng = fig.run_attacked();
+  ControllerConfig config;
+  config.strategy = ConcurrencyStrategy::kMultiVersion;
+  SelfHealingController controller(eng, config);
+  controller.submit_alert(alert_for(Figure1::malicious_instance(eng)));
+  ASSERT_EQ(controller.state(), recovery::SystemState::kScan);
+
+  // The run starts immediately -- no Theorem 4 blocking.
+  const auto started = controller.submit_run(fig.wf2);
+  EXPECT_TRUE(started.has_value());
+  EXPECT_EQ(controller.stats().runs_deferred, 0u);
+
+  // The new run read the still-corrupted o1 (wf2's t8 reads o1), so it
+  // joined the damage; the scan that follows covers it and recovery
+  // still converges to strict correctness.
+  controller.drain();
+  const recovery::CorrectnessChecker checker(eng);
+  EXPECT_TRUE(checker.check().strict_correct()) << checker.check().summary;
+}
+
+// A workflow where risky (live-store) recovery reads provably corrupt a
+// redo. `mid` is damaged through `a` (written by the attacked `src`),
+// and additionally reads `x`, which `blind` overwrites AFTER mid ran.
+// Nothing undoes x, so at redo time the live store holds blind's FUTURE
+// value while the value current at mid's slot is the initial one: a
+// risky redo of mid reads the wrong x (the clean-timeline read does not).
+struct BlindOverwrite {
+  wfspec::ObjectCatalog catalog;
+  wfspec::WorkflowSpec wf{"blind-overwrite", catalog};
+  wfspec::TaskId src, mid, blind, sink;
+
+  BlindOverwrite() {
+    src = wf.add_task("src", {}, {"a"});
+    mid = wf.add_task("mid", {"a", "x"}, {"y"});
+    blind = wf.add_task("blind", {}, {"x"});  // blind overwrite of x
+    sink = wf.add_task("sink", {"y"}, {"z"});
+    wf.add_edge(src, mid);
+    wf.add_edge(mid, blind);
+    wf.add_edge(blind, sink);
+    wf.validate();
+  }
+};
+
+TEST(Strategy, RiskyReadsCorruptRecoveryTasks) {
+  const BlindOverwrite fixture;
+  engine::Engine eng;
+  const auto run = eng.start_run(fixture.wf);
+  eng.inject_malicious(run, fixture.src);
+  eng.run_all();
+  engine::InstanceId bad = engine::kInvalidInstance;
+  for (const auto& e : eng.log().entries()) {
+    if (e.kind == engine::ActionKind::kMalicious) bad = e.id;
+  }
+
+  const recovery::RecoveryAnalyzer analyzer(eng);
+  const auto plan = analyzer.analyze({bad});
+  recovery::SchedulerOptions risky;
+  risky.clean_reads = false;
+  recovery::RecoveryScheduler scheduler(eng, risky);
+  scheduler.execute(plan);
+
+  // The redo of `mid` read blind's x from the live store: its output y
+  // (and sink's z) are wrong -- exactly the corruption the paper warns
+  // this strategy allows.
+  const recovery::CorrectnessChecker checker(eng);
+  EXPECT_FALSE(checker.check().strict_correct());
+}
+
+TEST(Strategy, CleanReadsAvoidTheCorruption) {
+  const BlindOverwrite fixture;
+  engine::Engine eng;
+  const auto run = eng.start_run(fixture.wf);
+  eng.inject_malicious(run, fixture.src);
+  eng.run_all();
+  engine::InstanceId bad = engine::kInvalidInstance;
+  for (const auto& e : eng.log().entries()) {
+    if (e.kind == engine::ActionKind::kMalicious) bad = e.id;
+  }
+
+  const recovery::RecoveryAnalyzer analyzer(eng);
+  recovery::RecoveryScheduler scheduler(eng);  // default: clean reads
+  scheduler.execute(analyzer.analyze({bad}));
+  const recovery::CorrectnessChecker checker(eng);
+  EXPECT_TRUE(checker.check().strict_correct()) << checker.check().summary;
+}
+
+TEST(Strategy, RiskyRoundConvergesWithAFollowUpStrictRound) {
+  // The paper: the risky strategy "introduces more recovery tasks and
+  // costs". A follow-up strict round discovers the corrupted redo via
+  // the clean-timeline read check and repairs it.
+  const BlindOverwrite fixture;
+  engine::Engine eng;
+  const auto run = eng.start_run(fixture.wf);
+  eng.inject_malicious(run, fixture.src);
+  eng.run_all();
+  engine::InstanceId bad = engine::kInvalidInstance;
+  for (const auto& e : eng.log().entries()) {
+    if (e.kind == engine::ActionKind::kMalicious) bad = e.id;
+  }
+
+  recovery::SchedulerOptions risky;
+  risky.clean_reads = false;
+  recovery::RecoveryScheduler risky_scheduler(eng, risky);
+  risky_scheduler.execute(recovery::RecoveryAnalyzer(eng).analyze({bad}));
+  ASSERT_FALSE(recovery::CorrectnessChecker(eng).check().strict_correct());
+
+  // Round 2, strict. The analyzer finds no NEW malicious tasks (the
+  // attack was superseded), but the replay's reads-match check catches
+  // the corrupted redo and repairs it.
+  recovery::RecoveryScheduler strict_scheduler(eng);
+  const auto outcome2 =
+      strict_scheduler.execute(recovery::RecoveryAnalyzer(eng).analyze({bad}));
+  EXPECT_GT(outcome2.redone.size(), 0u);  // the extra work the paper predicts
+  EXPECT_TRUE(recovery::CorrectnessChecker(eng).check().strict_correct());
+}
+
+TEST(Strategy, StrictStillDefers) {
+  const Figure1 fig;
+  auto eng = fig.run_attacked();
+  ControllerConfig config;  // default strategy: kStrict
+  SelfHealingController controller(eng, config);
+  controller.submit_alert(alert_for(Figure1::malicious_instance(eng)));
+  EXPECT_FALSE(controller.submit_run(fig.wf2).has_value());
+  EXPECT_EQ(controller.stats().runs_deferred, 1u);
+  controller.drain();
+  EXPECT_TRUE(recovery::CorrectnessChecker(eng).check().strict_correct());
+}
+
+TEST(Strategy, RiskyControllerMayNeedExtraRounds) {
+  // End-to-end through the controller: risky recovery + an immediate
+  // normal run; a follow-up strict controller round converges.
+  const BlindOverwrite fixture;
+  engine::Engine eng;
+  const auto run = eng.start_run(fixture.wf);
+  eng.inject_malicious(run, fixture.src);
+  eng.run_all();
+  engine::InstanceId bad = engine::kInvalidInstance;
+  for (const auto& e : eng.log().entries()) {
+    if (e.kind == engine::ActionKind::kMalicious) bad = e.id;
+  }
+
+  ControllerConfig risky_cfg;
+  risky_cfg.strategy = ConcurrencyStrategy::kRisky;
+  SelfHealingController controller(eng, risky_cfg);
+  controller.submit_alert(alert_for(bad));
+  controller.drain();
+  const bool after_risky = recovery::CorrectnessChecker(eng).check().strict_correct();
+
+  // Re-report; the strict follow-up reaches the fixpoint.
+  ControllerConfig strict_cfg;
+  SelfHealingController strict(eng, strict_cfg);
+  strict.submit_alert(alert_for(bad));
+  strict.drain();
+  EXPECT_TRUE(recovery::CorrectnessChecker(eng).check().strict_correct());
+  // And the risky round alone had NOT reached it.
+  EXPECT_FALSE(after_risky);
+}
+
+}  // namespace

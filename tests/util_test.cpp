@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "selfheal/util/flags.hpp"
+#include "selfheal/util/log.hpp"
+#include "selfheal/util/rng.hpp"
+#include "selfheal/util/stats.hpp"
+#include "selfheal/util/table.hpp"
+
+namespace {
+
+using namespace selfheal::util;
+
+TEST(Splitmix, IsDeterministic) {
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+  EXPECT_NE(splitmix64(42), splitmix64(43));
+}
+
+TEST(Mix64, OrderMatters) {
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(7), b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(2);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.uniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, BelowNeverReachesBound) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(7), 7u);
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(4);
+  std::vector<int> seen(5, 0);
+  for (int i = 0; i < 5000; ++i) ++seen[rng.below(5)];
+  for (int count : seen) EXPECT_GT(count, 800);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(5);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    hit_lo |= (v == -2);
+    hit_hi |= (v == 2);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(6);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.exponential(4.0));
+  EXPECT_NEAR(stats.mean(), 0.25, 0.005);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(7);
+  RunningStats small, large;
+  for (int i = 0; i < 50000; ++i) small.add(static_cast<double>(rng.poisson(3.0)));
+  for (int i = 0; i < 50000; ++i) large.add(static_cast<double>(rng.poisson(50.0)));
+  EXPECT_NEAR(small.mean(), 3.0, 0.1);
+  EXPECT_NEAR(large.mean(), 50.0, 0.5);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(8);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-100.0);  // clamps to the first bucket
+  h.add(100.0);   // clamps to the last bucket
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, QuantileApproximation) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 2.0);
+}
+
+TEST(TimeWeighted, AveragesPiecewiseConstantSignal) {
+  TimeWeighted tw;
+  tw.observe(0.0, 0.0);
+  tw.observe(1.0, 10.0);  // value 0 over [0,1)
+  tw.observe(3.0, 0.0);   // value 10 over [1,3)
+  // value 0 over [3,4): average = (0*1 + 10*2 + 0*1)/4 = 5
+  EXPECT_NEAR(tw.average(4.0), 5.0, 1e-12);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add("alpha", 1.5);
+  t.add("b", 22);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, RejectsRaggedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, CsvRenderingAndQuoting) {
+  Table t({"name", "note"});
+  t.add("plain", 1.5);
+  t.add("with,comma", "say \"hi\"");
+  const auto csv = t.render_csv();
+  EXPECT_NE(csv.find("name,note\n"), std::string::npos);
+  EXPECT_NE(csv.find("plain,1.5\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"with,comma\",\"say \"\"hi\"\"\"\n"), std::string::npos);
+}
+
+TEST(Table, AppendCsvWritesTitledBlocks) {
+  const std::string path = ::testing::TempDir() + "selfheal_table_test.csv";
+  std::remove(path.c_str());
+  Table t({"x", "y"});
+  t.add(1, 2);
+  t.append_csv(path, "block one");
+  t.append_csv(path, "block two");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto text = buffer.str();
+  EXPECT_NE(text.find("# block one\nx,y\n1,2\n"), std::string::npos);
+  EXPECT_NE(text.find("# block two"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Flags, ParsesAllForms) {
+  // Note: "--name value" greedily consumes the next non-flag token, so a
+  // bare boolean flag must come last or use --name=true.
+  const char* argv[] = {"prog", "--alpha=3.5", "--beta", "7", "pos1", "--gamma"};
+  Flags flags(6, argv);
+  EXPECT_DOUBLE_EQ(flags.get_double("alpha", 0), 3.5);
+  EXPECT_EQ(flags.get_int("beta", 0), 7);
+  EXPECT_TRUE(flags.get_bool("gamma", false));
+  EXPECT_FALSE(flags.has("delta"));
+  EXPECT_EQ(flags.get("delta", "dft"), "dft");
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "pos1");
+}
+
+TEST(Log, LevelGatesMessages) {
+  set_log_level(LogLevel::Error);
+  log_debug("should be invisible");  // just exercising the path
+  set_log_level(LogLevel::Warn);
+  EXPECT_EQ(log_level(), LogLevel::Warn);
+}
+
+}  // namespace
