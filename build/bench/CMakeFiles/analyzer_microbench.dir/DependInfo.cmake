@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/analyzer_microbench.cpp" "bench/CMakeFiles/analyzer_microbench.dir/analyzer_microbench.cpp.o" "gcc" "bench/CMakeFiles/analyzer_microbench.dir/analyzer_microbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/selfheal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_ctmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_ids.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_wfspec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

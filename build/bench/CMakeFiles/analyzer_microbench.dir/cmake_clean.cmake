@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyzer_microbench.dir/analyzer_microbench.cpp.o"
+  "CMakeFiles/analyzer_microbench.dir/analyzer_microbench.cpp.o.d"
+  "analyzer_microbench"
+  "analyzer_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyzer_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_asymmetry.dir/buffer_asymmetry.cpp.o"
+  "CMakeFiles/buffer_asymmetry.dir/buffer_asymmetry.cpp.o.d"
+  "buffer_asymmetry"
+  "buffer_asymmetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_asymmetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

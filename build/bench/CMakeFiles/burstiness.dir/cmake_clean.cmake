@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burstiness.dir/burstiness.cpp.o"
+  "CMakeFiles/burstiness.dir/burstiness.cpp.o.d"
+  "burstiness"
+  "burstiness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burstiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctmc_microbench.dir/ctmc_microbench.cpp.o"
+  "CMakeFiles/ctmc_microbench.dir/ctmc_microbench.cpp.o.d"
+  "ctmc_microbench"
+  "ctmc_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctmc_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_stg_dump.dir/fig3_stg_dump.cpp.o"
+  "CMakeFiles/fig3_stg_dump.dir/fig3_stg_dump.cpp.o.d"
+  "fig3_stg_dump"
+  "fig3_stg_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_stg_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

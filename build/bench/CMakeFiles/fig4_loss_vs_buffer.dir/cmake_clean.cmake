@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_loss_vs_buffer.dir/fig4_loss_vs_buffer.cpp.o"
+  "CMakeFiles/fig4_loss_vs_buffer.dir/fig4_loss_vs_buffer.cpp.o.d"
+  "fig4_loss_vs_buffer"
+  "fig4_loss_vs_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_loss_vs_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

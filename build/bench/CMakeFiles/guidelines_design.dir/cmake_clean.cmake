@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guidelines_design.dir/guidelines_design.cpp.o"
+  "CMakeFiles/guidelines_design.dir/guidelines_design.cpp.o.d"
+  "guidelines_design"
+  "guidelines_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guidelines_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ids_delay_sweep.dir/ids_delay_sweep.cpp.o"
+  "CMakeFiles/ids_delay_sweep.dir/ids_delay_sweep.cpp.o.d"
+  "ids_delay_sweep"
+  "ids_delay_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ids_delay_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

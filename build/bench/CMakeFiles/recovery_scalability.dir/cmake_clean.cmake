@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_scalability.dir/recovery_scalability.cpp.o"
+  "CMakeFiles/recovery_scalability.dir/recovery_scalability.cpp.o.d"
+  "recovery_scalability"
+  "recovery_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

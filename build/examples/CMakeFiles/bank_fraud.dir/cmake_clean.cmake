@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_fraud.dir/bank_fraud.cpp.o"
+  "CMakeFiles/bank_fraud.dir/bank_fraud.cpp.o.d"
+  "bank_fraud"
+  "bank_fraud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_fraud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfheal_cli.dir/selfheal_cli.cpp.o"
+  "CMakeFiles/selfheal_cli.dir/selfheal_cli.cpp.o.d"
+  "selfheal_cli"
+  "selfheal_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfheal_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

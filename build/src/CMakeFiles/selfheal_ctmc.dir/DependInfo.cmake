@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/selfheal/ctmc/ctmc.cpp" "src/CMakeFiles/selfheal_ctmc.dir/selfheal/ctmc/ctmc.cpp.o" "gcc" "src/CMakeFiles/selfheal_ctmc.dir/selfheal/ctmc/ctmc.cpp.o.d"
+  "/root/repo/src/selfheal/ctmc/degradation.cpp" "src/CMakeFiles/selfheal_ctmc.dir/selfheal/ctmc/degradation.cpp.o" "gcc" "src/CMakeFiles/selfheal_ctmc.dir/selfheal/ctmc/degradation.cpp.o.d"
+  "/root/repo/src/selfheal/ctmc/mmpp_stg.cpp" "src/CMakeFiles/selfheal_ctmc.dir/selfheal/ctmc/mmpp_stg.cpp.o" "gcc" "src/CMakeFiles/selfheal_ctmc.dir/selfheal/ctmc/mmpp_stg.cpp.o.d"
+  "/root/repo/src/selfheal/ctmc/recovery_stg.cpp" "src/CMakeFiles/selfheal_ctmc.dir/selfheal/ctmc/recovery_stg.cpp.o" "gcc" "src/CMakeFiles/selfheal_ctmc.dir/selfheal/ctmc/recovery_stg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/selfheal_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

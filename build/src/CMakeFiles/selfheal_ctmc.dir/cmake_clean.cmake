@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfheal_ctmc.dir/selfheal/ctmc/ctmc.cpp.o"
+  "CMakeFiles/selfheal_ctmc.dir/selfheal/ctmc/ctmc.cpp.o.d"
+  "CMakeFiles/selfheal_ctmc.dir/selfheal/ctmc/degradation.cpp.o"
+  "CMakeFiles/selfheal_ctmc.dir/selfheal/ctmc/degradation.cpp.o.d"
+  "CMakeFiles/selfheal_ctmc.dir/selfheal/ctmc/mmpp_stg.cpp.o"
+  "CMakeFiles/selfheal_ctmc.dir/selfheal/ctmc/mmpp_stg.cpp.o.d"
+  "CMakeFiles/selfheal_ctmc.dir/selfheal/ctmc/recovery_stg.cpp.o"
+  "CMakeFiles/selfheal_ctmc.dir/selfheal/ctmc/recovery_stg.cpp.o.d"
+  "libselfheal_ctmc.a"
+  "libselfheal_ctmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfheal_ctmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

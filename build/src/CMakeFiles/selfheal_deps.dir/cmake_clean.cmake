@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfheal_deps.dir/selfheal/deps/dependency.cpp.o"
+  "CMakeFiles/selfheal_deps.dir/selfheal/deps/dependency.cpp.o.d"
+  "libselfheal_deps.a"
+  "libselfheal_deps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfheal_deps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

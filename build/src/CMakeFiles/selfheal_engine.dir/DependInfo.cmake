@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/selfheal/engine/engine.cpp" "src/CMakeFiles/selfheal_engine.dir/selfheal/engine/engine.cpp.o" "gcc" "src/CMakeFiles/selfheal_engine.dir/selfheal/engine/engine.cpp.o.d"
+  "/root/repo/src/selfheal/engine/session_io.cpp" "src/CMakeFiles/selfheal_engine.dir/selfheal/engine/session_io.cpp.o" "gcc" "src/CMakeFiles/selfheal_engine.dir/selfheal/engine/session_io.cpp.o.d"
+  "/root/repo/src/selfheal/engine/system_log.cpp" "src/CMakeFiles/selfheal_engine.dir/selfheal/engine/system_log.cpp.o" "gcc" "src/CMakeFiles/selfheal_engine.dir/selfheal/engine/system_log.cpp.o.d"
+  "/root/repo/src/selfheal/engine/value.cpp" "src/CMakeFiles/selfheal_engine.dir/selfheal/engine/value.cpp.o" "gcc" "src/CMakeFiles/selfheal_engine.dir/selfheal/engine/value.cpp.o.d"
+  "/root/repo/src/selfheal/engine/versioned_store.cpp" "src/CMakeFiles/selfheal_engine.dir/selfheal/engine/versioned_store.cpp.o" "gcc" "src/CMakeFiles/selfheal_engine.dir/selfheal/engine/versioned_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/selfheal_wfspec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfheal_engine.dir/selfheal/engine/engine.cpp.o"
+  "CMakeFiles/selfheal_engine.dir/selfheal/engine/engine.cpp.o.d"
+  "CMakeFiles/selfheal_engine.dir/selfheal/engine/session_io.cpp.o"
+  "CMakeFiles/selfheal_engine.dir/selfheal/engine/session_io.cpp.o.d"
+  "CMakeFiles/selfheal_engine.dir/selfheal/engine/system_log.cpp.o"
+  "CMakeFiles/selfheal_engine.dir/selfheal/engine/system_log.cpp.o.d"
+  "CMakeFiles/selfheal_engine.dir/selfheal/engine/value.cpp.o"
+  "CMakeFiles/selfheal_engine.dir/selfheal/engine/value.cpp.o.d"
+  "CMakeFiles/selfheal_engine.dir/selfheal/engine/versioned_store.cpp.o"
+  "CMakeFiles/selfheal_engine.dir/selfheal/engine/versioned_store.cpp.o.d"
+  "libselfheal_engine.a"
+  "libselfheal_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfheal_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

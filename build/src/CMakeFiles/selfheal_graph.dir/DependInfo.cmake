@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/selfheal/graph/digraph.cpp" "src/CMakeFiles/selfheal_graph.dir/selfheal/graph/digraph.cpp.o" "gcc" "src/CMakeFiles/selfheal_graph.dir/selfheal/graph/digraph.cpp.o.d"
+  "/root/repo/src/selfheal/graph/dominators.cpp" "src/CMakeFiles/selfheal_graph.dir/selfheal/graph/dominators.cpp.o" "gcc" "src/CMakeFiles/selfheal_graph.dir/selfheal/graph/dominators.cpp.o.d"
+  "/root/repo/src/selfheal/graph/dot.cpp" "src/CMakeFiles/selfheal_graph.dir/selfheal/graph/dot.cpp.o" "gcc" "src/CMakeFiles/selfheal_graph.dir/selfheal/graph/dot.cpp.o.d"
+  "/root/repo/src/selfheal/graph/traversal.cpp" "src/CMakeFiles/selfheal_graph.dir/selfheal/graph/traversal.cpp.o" "gcc" "src/CMakeFiles/selfheal_graph.dir/selfheal/graph/traversal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/selfheal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfheal_graph.dir/selfheal/graph/digraph.cpp.o"
+  "CMakeFiles/selfheal_graph.dir/selfheal/graph/digraph.cpp.o.d"
+  "CMakeFiles/selfheal_graph.dir/selfheal/graph/dominators.cpp.o"
+  "CMakeFiles/selfheal_graph.dir/selfheal/graph/dominators.cpp.o.d"
+  "CMakeFiles/selfheal_graph.dir/selfheal/graph/dot.cpp.o"
+  "CMakeFiles/selfheal_graph.dir/selfheal/graph/dot.cpp.o.d"
+  "CMakeFiles/selfheal_graph.dir/selfheal/graph/traversal.cpp.o"
+  "CMakeFiles/selfheal_graph.dir/selfheal/graph/traversal.cpp.o.d"
+  "libselfheal_graph.a"
+  "libselfheal_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfheal_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libselfheal_graph.a"
+)

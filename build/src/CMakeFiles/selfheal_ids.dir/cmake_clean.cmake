@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfheal_ids.dir/selfheal/ids/ids.cpp.o"
+  "CMakeFiles/selfheal_ids.dir/selfheal/ids/ids.cpp.o.d"
+  "libselfheal_ids.a"
+  "libselfheal_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfheal_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

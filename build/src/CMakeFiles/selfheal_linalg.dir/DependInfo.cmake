@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/selfheal/linalg/lu.cpp" "src/CMakeFiles/selfheal_linalg.dir/selfheal/linalg/lu.cpp.o" "gcc" "src/CMakeFiles/selfheal_linalg.dir/selfheal/linalg/lu.cpp.o.d"
+  "/root/repo/src/selfheal/linalg/matrix.cpp" "src/CMakeFiles/selfheal_linalg.dir/selfheal/linalg/matrix.cpp.o" "gcc" "src/CMakeFiles/selfheal_linalg.dir/selfheal/linalg/matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/selfheal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

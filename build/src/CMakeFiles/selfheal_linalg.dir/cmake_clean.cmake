@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfheal_linalg.dir/selfheal/linalg/lu.cpp.o"
+  "CMakeFiles/selfheal_linalg.dir/selfheal/linalg/lu.cpp.o.d"
+  "CMakeFiles/selfheal_linalg.dir/selfheal/linalg/matrix.cpp.o"
+  "CMakeFiles/selfheal_linalg.dir/selfheal/linalg/matrix.cpp.o.d"
+  "libselfheal_linalg.a"
+  "libselfheal_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfheal_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

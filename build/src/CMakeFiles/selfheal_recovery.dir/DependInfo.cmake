@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/selfheal/recovery/analyzer.cpp" "src/CMakeFiles/selfheal_recovery.dir/selfheal/recovery/analyzer.cpp.o" "gcc" "src/CMakeFiles/selfheal_recovery.dir/selfheal/recovery/analyzer.cpp.o.d"
+  "/root/repo/src/selfheal/recovery/controller.cpp" "src/CMakeFiles/selfheal_recovery.dir/selfheal/recovery/controller.cpp.o" "gcc" "src/CMakeFiles/selfheal_recovery.dir/selfheal/recovery/controller.cpp.o.d"
+  "/root/repo/src/selfheal/recovery/correctness.cpp" "src/CMakeFiles/selfheal_recovery.dir/selfheal/recovery/correctness.cpp.o" "gcc" "src/CMakeFiles/selfheal_recovery.dir/selfheal/recovery/correctness.cpp.o.d"
+  "/root/repo/src/selfheal/recovery/plan.cpp" "src/CMakeFiles/selfheal_recovery.dir/selfheal/recovery/plan.cpp.o" "gcc" "src/CMakeFiles/selfheal_recovery.dir/selfheal/recovery/plan.cpp.o.d"
+  "/root/repo/src/selfheal/recovery/scheduler.cpp" "src/CMakeFiles/selfheal_recovery.dir/selfheal/recovery/scheduler.cpp.o" "gcc" "src/CMakeFiles/selfheal_recovery.dir/selfheal/recovery/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/selfheal_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_ids.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_wfspec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

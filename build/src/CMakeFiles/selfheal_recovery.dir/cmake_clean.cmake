@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfheal_recovery.dir/selfheal/recovery/analyzer.cpp.o"
+  "CMakeFiles/selfheal_recovery.dir/selfheal/recovery/analyzer.cpp.o.d"
+  "CMakeFiles/selfheal_recovery.dir/selfheal/recovery/controller.cpp.o"
+  "CMakeFiles/selfheal_recovery.dir/selfheal/recovery/controller.cpp.o.d"
+  "CMakeFiles/selfheal_recovery.dir/selfheal/recovery/correctness.cpp.o"
+  "CMakeFiles/selfheal_recovery.dir/selfheal/recovery/correctness.cpp.o.d"
+  "CMakeFiles/selfheal_recovery.dir/selfheal/recovery/plan.cpp.o"
+  "CMakeFiles/selfheal_recovery.dir/selfheal/recovery/plan.cpp.o.d"
+  "CMakeFiles/selfheal_recovery.dir/selfheal/recovery/scheduler.cpp.o"
+  "CMakeFiles/selfheal_recovery.dir/selfheal/recovery/scheduler.cpp.o.d"
+  "libselfheal_recovery.a"
+  "libselfheal_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfheal_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/selfheal/sim/des.cpp" "src/CMakeFiles/selfheal_sim.dir/selfheal/sim/des.cpp.o" "gcc" "src/CMakeFiles/selfheal_sim.dir/selfheal/sim/des.cpp.o.d"
+  "/root/repo/src/selfheal/sim/queueing_sim.cpp" "src/CMakeFiles/selfheal_sim.dir/selfheal/sim/queueing_sim.cpp.o" "gcc" "src/CMakeFiles/selfheal_sim.dir/selfheal/sim/queueing_sim.cpp.o.d"
+  "/root/repo/src/selfheal/sim/system_sim.cpp" "src/CMakeFiles/selfheal_sim.dir/selfheal/sim/system_sim.cpp.o" "gcc" "src/CMakeFiles/selfheal_sim.dir/selfheal/sim/system_sim.cpp.o.d"
+  "/root/repo/src/selfheal/sim/workload.cpp" "src/CMakeFiles/selfheal_sim.dir/selfheal/sim/workload.cpp.o" "gcc" "src/CMakeFiles/selfheal_sim.dir/selfheal/sim/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/selfheal_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_ctmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_ids.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_wfspec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

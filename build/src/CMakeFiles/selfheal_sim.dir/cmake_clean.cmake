@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfheal_sim.dir/selfheal/sim/des.cpp.o"
+  "CMakeFiles/selfheal_sim.dir/selfheal/sim/des.cpp.o.d"
+  "CMakeFiles/selfheal_sim.dir/selfheal/sim/queueing_sim.cpp.o"
+  "CMakeFiles/selfheal_sim.dir/selfheal/sim/queueing_sim.cpp.o.d"
+  "CMakeFiles/selfheal_sim.dir/selfheal/sim/system_sim.cpp.o"
+  "CMakeFiles/selfheal_sim.dir/selfheal/sim/system_sim.cpp.o.d"
+  "CMakeFiles/selfheal_sim.dir/selfheal/sim/workload.cpp.o"
+  "CMakeFiles/selfheal_sim.dir/selfheal/sim/workload.cpp.o.d"
+  "libselfheal_sim.a"
+  "libselfheal_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfheal_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

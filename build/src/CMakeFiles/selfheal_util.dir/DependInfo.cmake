@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/selfheal/util/flags.cpp" "src/CMakeFiles/selfheal_util.dir/selfheal/util/flags.cpp.o" "gcc" "src/CMakeFiles/selfheal_util.dir/selfheal/util/flags.cpp.o.d"
+  "/root/repo/src/selfheal/util/log.cpp" "src/CMakeFiles/selfheal_util.dir/selfheal/util/log.cpp.o" "gcc" "src/CMakeFiles/selfheal_util.dir/selfheal/util/log.cpp.o.d"
+  "/root/repo/src/selfheal/util/rng.cpp" "src/CMakeFiles/selfheal_util.dir/selfheal/util/rng.cpp.o" "gcc" "src/CMakeFiles/selfheal_util.dir/selfheal/util/rng.cpp.o.d"
+  "/root/repo/src/selfheal/util/stats.cpp" "src/CMakeFiles/selfheal_util.dir/selfheal/util/stats.cpp.o" "gcc" "src/CMakeFiles/selfheal_util.dir/selfheal/util/stats.cpp.o.d"
+  "/root/repo/src/selfheal/util/table.cpp" "src/CMakeFiles/selfheal_util.dir/selfheal/util/table.cpp.o" "gcc" "src/CMakeFiles/selfheal_util.dir/selfheal/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

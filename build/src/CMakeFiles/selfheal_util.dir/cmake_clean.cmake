@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfheal_util.dir/selfheal/util/flags.cpp.o"
+  "CMakeFiles/selfheal_util.dir/selfheal/util/flags.cpp.o.d"
+  "CMakeFiles/selfheal_util.dir/selfheal/util/log.cpp.o"
+  "CMakeFiles/selfheal_util.dir/selfheal/util/log.cpp.o.d"
+  "CMakeFiles/selfheal_util.dir/selfheal/util/rng.cpp.o"
+  "CMakeFiles/selfheal_util.dir/selfheal/util/rng.cpp.o.d"
+  "CMakeFiles/selfheal_util.dir/selfheal/util/stats.cpp.o"
+  "CMakeFiles/selfheal_util.dir/selfheal/util/stats.cpp.o.d"
+  "CMakeFiles/selfheal_util.dir/selfheal/util/table.cpp.o"
+  "CMakeFiles/selfheal_util.dir/selfheal/util/table.cpp.o.d"
+  "libselfheal_util.a"
+  "libselfheal_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfheal_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/selfheal/wfspec/object_catalog.cpp" "src/CMakeFiles/selfheal_wfspec.dir/selfheal/wfspec/object_catalog.cpp.o" "gcc" "src/CMakeFiles/selfheal_wfspec.dir/selfheal/wfspec/object_catalog.cpp.o.d"
+  "/root/repo/src/selfheal/wfspec/parser.cpp" "src/CMakeFiles/selfheal_wfspec.dir/selfheal/wfspec/parser.cpp.o" "gcc" "src/CMakeFiles/selfheal_wfspec.dir/selfheal/wfspec/parser.cpp.o.d"
+  "/root/repo/src/selfheal/wfspec/static_deps.cpp" "src/CMakeFiles/selfheal_wfspec.dir/selfheal/wfspec/static_deps.cpp.o" "gcc" "src/CMakeFiles/selfheal_wfspec.dir/selfheal/wfspec/static_deps.cpp.o.d"
+  "/root/repo/src/selfheal/wfspec/workflow_spec.cpp" "src/CMakeFiles/selfheal_wfspec.dir/selfheal/wfspec/workflow_spec.cpp.o" "gcc" "src/CMakeFiles/selfheal_wfspec.dir/selfheal/wfspec/workflow_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/selfheal_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfheal_wfspec.dir/selfheal/wfspec/object_catalog.cpp.o"
+  "CMakeFiles/selfheal_wfspec.dir/selfheal/wfspec/object_catalog.cpp.o.d"
+  "CMakeFiles/selfheal_wfspec.dir/selfheal/wfspec/parser.cpp.o"
+  "CMakeFiles/selfheal_wfspec.dir/selfheal/wfspec/parser.cpp.o.d"
+  "CMakeFiles/selfheal_wfspec.dir/selfheal/wfspec/static_deps.cpp.o"
+  "CMakeFiles/selfheal_wfspec.dir/selfheal/wfspec/static_deps.cpp.o.d"
+  "CMakeFiles/selfheal_wfspec.dir/selfheal/wfspec/workflow_spec.cpp.o"
+  "CMakeFiles/selfheal_wfspec.dir/selfheal/wfspec/workflow_spec.cpp.o.d"
+  "libselfheal_wfspec.a"
+  "libselfheal_wfspec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfheal_wfspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for selfheal_wfspec.
+# This may be replaced when dependencies are built.

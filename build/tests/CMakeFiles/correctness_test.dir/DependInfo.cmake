@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/correctness_test.cpp" "tests/CMakeFiles/correctness_test.dir/correctness_test.cpp.o" "gcc" "tests/CMakeFiles/correctness_test.dir/correctness_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/selfheal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_ctmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_ids.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_wfspec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selfheal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmpp_test.dir/mmpp_test.cpp.o"
+  "CMakeFiles/mmpp_test.dir/mmpp_test.cpp.o.d"
+  "mmpp_test"
+  "mmpp_test.pdb"
+  "mmpp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmpp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

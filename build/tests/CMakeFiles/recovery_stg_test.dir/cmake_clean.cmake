@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_stg_test.dir/recovery_stg_test.cpp.o"
+  "CMakeFiles/recovery_stg_test.dir/recovery_stg_test.cpp.o.d"
+  "recovery_stg_test"
+  "recovery_stg_test.pdb"
+  "recovery_stg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_stg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

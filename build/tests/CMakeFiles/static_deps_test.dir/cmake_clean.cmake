@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_deps_test.dir/static_deps_test.cpp.o"
+  "CMakeFiles/static_deps_test.dir/static_deps_test.cpp.o.d"
+  "static_deps_test"
+  "static_deps_test.pdb"
+  "static_deps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_deps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

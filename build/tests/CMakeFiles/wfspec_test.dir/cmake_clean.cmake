@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfspec_test.dir/wfspec_test.cpp.o"
+  "CMakeFiles/wfspec_test.dir/wfspec_test.cpp.o.d"
+  "wfspec_test"
+  "wfspec_test.pdb"
+  "wfspec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfspec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
