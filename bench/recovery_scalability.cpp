@@ -5,10 +5,14 @@
 // committed work recovery did NOT have to redo, which is the paper's
 // core advantage over checkpoint rollback (Section I: a checkpoint
 // "rolls back the whole workflow system ... all work will be lost").
+//
+// Supports --metrics-out FILE (JSONL snapshot), --trace-out FILE
+// (Chrome trace_event JSON), --metrics-summary.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 
+#include "selfheal/obs/artifacts.hpp"
 #include "selfheal/recovery/analyzer.hpp"
 #include "selfheal/recovery/correctness.hpp"
 #include "selfheal/recovery/scheduler.hpp"
@@ -27,7 +31,9 @@ double ms_since(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  obs::init_from_flags(flags);
   std::printf("Recovery scalability (1 attack, growing fleet of workflows)\n\n");
   util::Table by_size({"workflows", "log entries", "analyze ms", "recover ms",
                        "touched", "reused", "reuse %", "strict"});
@@ -82,5 +88,6 @@ int main() {
   std::printf("%s", by_attacks.render().c_str());
   std::printf("\n# The reuse column is the point: recovery touches the damage\n"
               "# closure, not the whole log -- unlike checkpoint rollback.\n");
+  obs::flush_from_flags(flags);
   return 0;
 }

@@ -4,9 +4,13 @@
 // harness is trustworthy: for each evaluation case, the empirical
 // occupancy/loss measured by simulating the actual stochastic process
 // must agree with the solved steady state of the RecoveryStg chain.
+//
+// Supports --metrics-out FILE (JSONL snapshot), --trace-out FILE
+// (Chrome trace_event JSON), --metrics-summary.
 #include <cstdio>
 
 #include "selfheal/ctmc/recovery_stg.hpp"
+#include "selfheal/obs/artifacts.hpp"
 #include "selfheal/sim/queueing_sim.hpp"
 #include "selfheal/util/table.hpp"
 
@@ -45,7 +49,9 @@ void compare(const char* label, double lambda, double mu1, double xi1,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  obs::init_from_flags(flags);
   std::printf("DES cross-validation of the CTMC (mu_k=mu1/k, xi_k=xi1/k)\n");
   util::Table table({"case", "metric", "CTMC (analytic)", "DES (simulated)"});
   table.set_precision(4);
@@ -62,5 +68,6 @@ int main() {
               "# chain is bistable (a rarely-entered collapsed regime holds ~1%%\n"
               "# of the steady mass); a finite-horizon simulation from NORMAL\n"
               "# undercounts it, so E[alerts]/E[units] read low there.\n");
+  obs::flush_from_flags(flags);
   return 0;
 }

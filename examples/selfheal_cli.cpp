@@ -11,6 +11,10 @@
 //     --save FILE              persist the repaired session to FILE
 //     --load FILE              restore a session instead of running
 //                              workflows (recovery then runs on it)
+//     --metrics-out FILE       dump the obs metrics snapshot as JSONL
+//     --trace-out FILE         record spans; write Chrome trace_event
+//                              JSON (chrome://tracing / Perfetto)
+//     --metrics-summary        print the metrics summary table
 //
 // With no files, a built-in demo pair of workflows is used. Each file
 // holds one workflow in the DSL of selfheal/wfspec/parser.hpp. All
@@ -25,6 +29,7 @@
 #include <vector>
 
 #include "selfheal/engine/session_io.hpp"
+#include "selfheal/obs/artifacts.hpp"
 #include "selfheal/recovery/analyzer.hpp"
 #include "selfheal/recovery/controller.hpp"
 #include "selfheal/recovery/correctness.hpp"
@@ -83,6 +88,7 @@ std::vector<std::string> split(const std::string& text, char sep) {
 
 int main(int argc, char** argv) {
   const util::Flags flags(argc, argv);
+  obs::init_from_flags(flags);
 
   engine::Session session;
   if (flags.has("load")) {
@@ -224,5 +230,6 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  obs::flush_from_flags(flags);
   return report.strict_correct() ? 0 : 1;
 }

@@ -7,8 +7,27 @@
 #include <stdexcept>
 
 #include "selfheal/linalg/lu.hpp"
+#include "selfheal/obs/metrics.hpp"
+#include "selfheal/obs/trace.hpp"
 
 namespace selfheal::ctmc {
+
+namespace {
+
+struct CtmcMetrics {
+  /// GTH censoring steps + uniformization terms: the "how much numerical
+  /// work did this evaluation do" cost driver for the figure benches.
+  obs::Counter& solver_iterations = obs::metrics().counter("ctmc.solver_iterations");
+  obs::Counter& steady_solves = obs::metrics().counter("ctmc.steady_solves");
+  obs::Counter& transient_steps = obs::metrics().counter("ctmc.transient_steps");
+};
+
+CtmcMetrics& ctmc_metrics() {
+  static CtmcMetrics m;
+  return m;
+}
+
+}  // namespace
 
 Ctmc::Ctmc(std::size_t state_count) : q_(state_count, state_count), names_(state_count) {
   for (std::size_t s = 0; s < state_count; ++s) names_[s] = "s" + std::to_string(s);
@@ -92,6 +111,9 @@ std::optional<Vector> Ctmc::steady_state() const {
   if (n == 0) return std::nullopt;
   if (n == 1) return Vector{1.0};
   if (!irreducible()) return std::nullopt;
+  obs::Span span("ctmc.steady_state", "ctmc");
+  ctmc_metrics().steady_solves.inc();
+  ctmc_metrics().solver_iterations.inc(n - 1);  // GTH censoring steps
 
   // GTH (Grassmann-Taksar-Heyman): censor states from the top down using
   // only additions/divisions of non-negative quantities, then back-fill.
@@ -170,6 +192,7 @@ Vector Ctmc::transient_step(const Vector& pi0, double dt, double eps) const {
   linalg::axpy(weight, v, result);
   // Generous truncation bound; loop exits when the Poisson tail < eps.
   const std::size_t k_max = static_cast<std::size_t>(lt + 16.0 * std::sqrt(lt + 1.0) + 64.0);
+  std::size_t terms = 0;
   for (std::size_t k = 1; k <= k_max && 1.0 - cumulative > eps; ++k) {
     // v <- v P = v + (v Q)/Lambda
     Vector vq = q_.left_multiply(v);
@@ -177,7 +200,10 @@ Vector Ctmc::transient_step(const Vector& pi0, double dt, double eps) const {
     weight *= lt / static_cast<double>(k);
     cumulative += weight;
     linalg::axpy(weight, v, result);
+    ++terms;
   }
+  ctmc_metrics().transient_steps.inc();
+  ctmc_metrics().solver_iterations.inc(terms);  // uniformization terms
   // Renormalise away the truncated tail mass.
   const double total = linalg::l1_norm(result);
   if (total > 0) linalg::scale(result, 1.0 / total);

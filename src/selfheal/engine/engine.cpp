@@ -3,7 +3,43 @@
 #include <stdexcept>
 #include <string>
 
+#include "selfheal/obs/metrics.hpp"
+#include "selfheal/obs/trace.hpp"
+
 namespace selfheal::engine {
+
+namespace {
+
+/// Instrument references resolved once: the per-commit fast path is one
+/// relaxed atomic increment per counter touched.
+struct EngineMetrics {
+  obs::Counter& tasks_executed = obs::metrics().counter("engine.tasks_executed");
+  obs::Counter& tasks_malicious = obs::metrics().counter("engine.tasks_malicious");
+  obs::Counter& redo_actions = obs::metrics().counter("engine.redo_actions");
+  obs::Counter& fresh_actions = obs::metrics().counter("engine.fresh_actions");
+  obs::Counter& undo_actions = obs::metrics().counter("engine.undo_actions");
+  obs::Counter& repair_actions = obs::metrics().counter("engine.repair_actions");
+  obs::Counter& runs_started = obs::metrics().counter("engine.runs_started");
+};
+
+EngineMetrics& engine_metrics() {
+  static EngineMetrics m;
+  return m;
+}
+
+const char* span_name(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kNormal: return "engine.task";
+    case ActionKind::kMalicious: return "engine.task.malicious";
+    case ActionKind::kRedo: return "engine.task.redo";
+    case ActionKind::kFresh: return "engine.task.fresh";
+    case ActionKind::kUndo: return "engine.undo";
+    case ActionKind::kRepair: return "engine.repair";
+  }
+  return "engine.task";
+}
+
+}  // namespace
 
 Engine::Engine(EngineConfig config) : config_(config), rng_(config.seed) {}
 
@@ -22,6 +58,7 @@ RunId Engine::start_run(const wfspec::WorkflowSpec& spec) {
   run.pc = spec.start();
   run.active = true;
   runs_.push_back(std::move(run));
+  engine_metrics().runs_started.inc();
   return static_cast<RunId>(runs_.size() - 1);
 }
 
@@ -148,6 +185,14 @@ InstanceId Engine::execute(RunId run_id, wfspec::TaskId task, int incarnation,
   const auto& task_spec = spec.task(task);
   const bool malicious = kind == ActionKind::kMalicious;
 
+  auto& em = engine_metrics();
+  em.tasks_executed.inc();
+  if (malicious) em.tasks_malicious.inc();
+  if (kind == ActionKind::kRedo) em.redo_actions.inc();
+  if (kind == ActionKind::kFresh) em.fresh_actions.inc();
+  obs::Span span(span_name(kind), "engine");
+  if (span.active()) span.set_detail(spec.name() + ":" + task_spec.name);
+
   TaskInstance entry;
   entry.run = run_id;
   entry.task = task;
@@ -208,6 +253,9 @@ InstanceId Engine::apply_undo(InstanceId target,
     throw std::logic_error("apply_undo: target is not an execution entry");
   }
 
+  engine_metrics().undo_actions.inc();
+  obs::Span span("engine.undo", "engine");
+
   TaskInstance entry;
   entry.run = victim.run;
   entry.task = victim.task;
@@ -243,6 +291,8 @@ InstanceId Engine::apply_fresh(RunId run, wfspec::TaskId task, int incarnation,
 
 InstanceId Engine::apply_repair(
     const std::vector<std::pair<wfspec::ObjectId, Value>>& fixes) {
+  engine_metrics().repair_actions.inc();
+  obs::Span span("engine.repair", "engine");
   TaskInstance entry;
   entry.kind = ActionKind::kRepair;
   const SeqNo seq = next_seq();

@@ -1,0 +1,145 @@
+#include "selfheal/obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace selfheal::obs {
+
+void Gauge::add(double delta) noexcept {
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::update_max(double v) noexcept {
+  double current = value_.load(std::memory_order_relaxed);
+  while (current < v &&
+         !value_.compare_exchange_weak(current, v, std::memory_order_relaxed)) {
+  }
+}
+
+void HistogramMetric::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  hist_ = util::Histogram(hist_.lo(), hist_.hi(), hist_.bucket_count());
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Registry& metrics() { return Registry::global(); }
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+HistogramMetric& Registry::histogram(const std::string& name, double lo, double hi,
+                                     std::size_t buckets) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<HistogramMetric>(lo, hi, buckets);
+  return *slot;
+}
+
+StatMetric& Registry::stats(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = stats_[name];
+  if (!slot) slot = std::make_unique<StatMetric>();
+  return *slot;
+}
+
+std::vector<MetricSample> Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size() +
+              stats_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricSample s;
+    s.kind = MetricSample::Kind::kCounter;
+    s.name = name;
+    s.count = c->value();
+    s.value = static_cast<double>(s.count);
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricSample s;
+    s.kind = MetricSample::Kind::kGauge;
+    s.name = name;
+    s.value = g->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms_) {
+    const auto hist = h->snapshot();
+    MetricSample s;
+    s.kind = MetricSample::Kind::kHistogram;
+    s.name = name;
+    s.count = hist.total();
+    s.lo = hist.lo();
+    s.hi = hist.hi();
+    s.underflow = hist.underflow();
+    s.overflow = hist.overflow();
+    s.buckets.reserve(hist.bucket_count());
+    for (std::size_t i = 0; i < hist.bucket_count(); ++i) {
+      s.buckets.push_back(hist.bucket(i));
+    }
+    s.value = hist.quantile(0.5);
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, st] : stats_) {
+    const auto stats = st->snapshot();
+    MetricSample s;
+    s.kind = MetricSample::Kind::kStats;
+    s.name = name;
+    s.count = stats.count();
+    s.value = stats.mean();
+    s.min = stats.min();
+    s.max = stats.max();
+    s.sum = stats.sum();
+    s.stddev = stats.stddev();
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) { return a.name < b.name; });
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, s] : stats_) s->reset();
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size() + stats_.size();
+}
+
+std::uint64_t monotonic_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+ScopedTimerMs::ScopedTimerMs(StatMetric& target) noexcept
+    : target_(&target), start_ns_(monotonic_ns()) {}
+
+ScopedTimerMs::~ScopedTimerMs() {
+  target_->observe(static_cast<double>(monotonic_ns() - start_ns_) / 1e6);
+}
+
+}  // namespace selfheal::obs

@@ -1,0 +1,177 @@
+// Process-wide metrics registry: named counters, gauges, histograms, and
+// running stats. Designed to stay ON in benches: the fast path of every
+// instrument is a relaxed atomic (counters/gauges) or a short critical
+// section (histograms/stats), and call sites cache the instrument
+// reference once, so steady-state cost is one atomic RMW per event.
+//
+// Instruments are registered on first use and NEVER deallocated while
+// the registry lives; `reset()` zeroes values but keeps registrations,
+// so cached references stay valid across test cases and bench repeats.
+//
+// Metric naming scheme (see DESIGN.md "Observability"): dot-separated
+// `<subsystem>.<measure>[_<unit>]`, e.g. `recovery.undo_tasks`,
+// `analyzer.analyze_ms`. Subsystem prefixes in use: engine, analyzer,
+// scheduler, recovery, controller, ctmc, des, sim.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "selfheal/util/stats.hpp"
+
+namespace selfheal::obs {
+
+/// Monotone event count. Relaxed atomics: totals are exact, ordering
+/// against other metrics is not promised (snapshots are best-effort).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value / accumulating double. `add` and `update_max` use CAS
+/// loops so concurrent writers never lose updates.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept;
+  /// Raises the gauge to `v` if `v` is larger (high-water mark).
+  void update_max(double v) noexcept;
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// util::Histogram behind a mutex; bounds are fixed at registration.
+/// Out-of-range observations land in the histogram's explicit
+/// underflow/overflow counters (never silently dropped or clamped).
+class HistogramMetric {
+ public:
+  HistogramMetric(double lo, double hi, std::size_t buckets)
+      : hist_(lo, hi, buckets) {}
+
+  void observe(double x) noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.add(x);
+  }
+  [[nodiscard]] util::Histogram snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hist_;
+  }
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  util::Histogram hist_;
+};
+
+/// util::RunningStats behind a mutex: mean/min/max/stddev without
+/// committing to bucket bounds -- the default for timing measures.
+class StatMetric {
+ public:
+  void observe(double x) noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.add(x);
+  }
+  [[nodiscard]] util::RunningStats snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = util::RunningStats{};
+  }
+
+ private:
+  mutable std::mutex mu_;
+  util::RunningStats stats_;
+};
+
+/// One metric in a point-in-time snapshot (see Registry::snapshot).
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram, kStats };
+  Kind kind = Kind::kCounter;
+  std::string name;
+  std::uint64_t count = 0;   // counter value / histogram in-range / stats n
+  double value = 0.0;        // gauge value / mean for histogram+stats
+  // Histogram-only payload.
+  double lo = 0.0, hi = 0.0;
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t underflow = 0, overflow = 0;
+  // Stats-only payload.
+  double min = 0.0, max = 0.0, sum = 0.0, stddev = 0.0;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry every instrumented subsystem reports to.
+  static Registry& global();
+
+  /// Finds or creates the named instrument. The returned reference is
+  /// stable for the registry's lifetime -- cache it at the call site.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Bounds/buckets apply on first registration only; later lookups of
+  /// the same name ignore them.
+  HistogramMetric& histogram(const std::string& name, double lo, double hi,
+                             std::size_t buckets);
+  StatMetric& stats(const std::string& name);
+
+  /// Point-in-time copy of every registered metric, name-sorted.
+  [[nodiscard]] std::vector<MetricSample> snapshot() const;
+
+  /// Zeroes all values; registrations (and cached references) survive.
+  void reset();
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+  std::map<std::string, std::unique_ptr<StatMetric>> stats_;
+};
+
+/// Shorthand for Registry::global().
+[[nodiscard]] Registry& metrics();
+
+/// RAII wall-clock timer: records elapsed milliseconds into a
+/// StatMetric on destruction.
+class ScopedTimerMs {
+ public:
+  explicit ScopedTimerMs(StatMetric& target) noexcept;
+  ~ScopedTimerMs();
+  ScopedTimerMs(const ScopedTimerMs&) = delete;
+  ScopedTimerMs& operator=(const ScopedTimerMs&) = delete;
+
+ private:
+  StatMetric* target_;
+  std::uint64_t start_ns_;
+};
+
+/// Monotonic nanosecond clock shared by the timers and the tracer.
+[[nodiscard]] std::uint64_t monotonic_ns() noexcept;
+
+}  // namespace selfheal::obs

@@ -3,13 +3,38 @@
 #include <algorithm>
 #include <set>
 
+#include "selfheal/obs/metrics.hpp"
+#include "selfheal/obs/trace.hpp"
+
 namespace selfheal::recovery {
+
+namespace {
+
+struct AnalyzerMetrics {
+  obs::Counter& analyses = obs::metrics().counter("analyzer.analyses");
+  obs::Counter& work_units = obs::metrics().counter("analyzer.work_units");
+  obs::Counter& damaged_instances = obs::metrics().counter("analyzer.damaged_instances");
+  obs::Counter& candidate_undos = obs::metrics().counter("analyzer.candidate_undos");
+  obs::Counter& candidate_redos = obs::metrics().counter("analyzer.candidate_redos");
+  obs::Gauge& frontier_max = obs::metrics().gauge("analyzer.damage_frontier_max");
+  obs::StatMetric& analyze_ms = obs::metrics().stats("analyzer.analyze_ms");
+};
+
+AnalyzerMetrics& analyzer_metrics() {
+  static AnalyzerMetrics m;
+  return m;
+}
+
+}  // namespace
 
 RecoveryAnalyzer::RecoveryAnalyzer(const engine::Engine& engine)
     : engine_(engine), specs_(engine.specs_by_run()),
       deps_(engine.log(), specs_) {}
 
 RecoveryPlan RecoveryAnalyzer::analyze(const std::vector<InstanceId>& malicious) const {
+  auto& am = analyzer_metrics();
+  obs::Span span("analyzer.analyze", "recovery");
+  const obs::ScopedTimerMs timer(am.analyze_ms);
   work_units_ = 0;
   const auto& log = engine_.log();
   RecoveryPlan plan;
@@ -154,6 +179,18 @@ RecoveryPlan RecoveryAnalyzer::analyze(const std::vector<InstanceId>& malicious)
     }
   }
 
+  am.analyses.inc();
+  am.work_units.inc(work_units_);
+  am.damaged_instances.inc(plan.damaged.size());
+  am.candidate_undos.inc(plan.candidate_undos.size());
+  am.candidate_redos.inc(plan.candidate_redos.size());
+  // The damage frontier: how far one alert's closure reached. The max
+  // over a run anchors "worst single analysis" comparisons across PRs.
+  am.frontier_max.update_max(static_cast<double>(plan.damaged.size()));
+  if (span.active()) {
+    span.set_detail("damaged=" + std::to_string(plan.damaged.size()) +
+                    " work=" + std::to_string(work_units_));
+  }
   return plan;
 }
 

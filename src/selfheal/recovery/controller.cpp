@@ -2,7 +2,31 @@
 
 #include <algorithm>
 
+#include "selfheal/obs/metrics.hpp"
+#include "selfheal/obs/trace.hpp"
+
 namespace selfheal::recovery {
+
+namespace {
+
+struct ControllerMetrics {
+  obs::Counter& alerts_received = obs::metrics().counter("controller.alerts_received");
+  obs::Counter& alerts_lost = obs::metrics().counter("controller.alerts_lost");
+  obs::Counter& alerts_blocked = obs::metrics().counter("controller.alerts_blocked");
+  obs::Counter& scans = obs::metrics().counter("controller.scans");
+  obs::Counter& recoveries = obs::metrics().counter("controller.recoveries");
+  obs::Counter& runs_deferred = obs::metrics().counter("controller.runs_deferred");
+  obs::Counter& runs_parked = obs::metrics().counter("controller.runs_parked");
+  obs::Gauge& alert_queue_peak = obs::metrics().gauge("controller.alert_queue_peak");
+  obs::Gauge& unit_queue_peak = obs::metrics().gauge("controller.unit_queue_peak");
+};
+
+ControllerMetrics& controller_metrics() {
+  static ControllerMetrics m;
+  return m;
+}
+
+}  // namespace
 
 const char* to_string(ConcurrencyStrategy strategy) {
   switch (strategy) {
@@ -33,9 +57,15 @@ SystemState SelfHealingController::state() const {
 }
 
 bool SelfHealingController::submit_alert(ids::Alert alert) {
+  auto& cm = controller_metrics();
   ++stats_.alerts_received;
+  cm.alerts_received.inc();
   const bool accepted = alerts_.push(std::move(alert));
-  if (!accepted) ++stats_.alerts_lost;
+  if (!accepted) {
+    ++stats_.alerts_lost;
+    cm.alerts_lost.inc();
+  }
+  cm.alert_queue_peak.update_max(static_cast<double>(alerts_.size()));
   return accepted;
 }
 
@@ -67,6 +97,7 @@ bool SelfHealingController::advance_until_blocked(
     // (the anti/output case).
     if (touches_dirty(task.reads) || touches_dirty(task.writes)) {
       ++stats_.runs_parked;
+      controller_metrics().runs_parked.inc();
       return false;
     }
     engine_->step_run(run);
@@ -95,6 +126,7 @@ std::optional<engine::RunId> SelfHealingController::submit_run(
     // pending redo's inputs.
     pending_runs_.push_back(&spec);
     ++stats_.runs_deferred;
+    controller_metrics().runs_deferred.inc();
     return std::nullopt;
   }
   // Under the concurrency strategies the run executes immediately; if it
@@ -108,11 +140,14 @@ std::optional<engine::RunId> SelfHealingController::submit_run(
 
 std::optional<std::size_t> SelfHealingController::scan_one() {
   if (alerts_.empty()) return std::nullopt;
+  auto& cm = controller_metrics();
   if (units_.size() >= config_.recovery_buffer) {
     // Analyzer blocked: no space for the unit this alert would produce.
     ++stats_.alerts_blocked;
+    cm.alerts_blocked.inc();
     return std::nullopt;
   }
+  obs::Span span("controller.scan", "recovery");
   auto alert = alerts_.pop();
   if (config_.batch_alerts) {
     std::size_t extra = 0;
@@ -134,6 +169,8 @@ std::optional<std::size_t> SelfHealingController::scan_one() {
   ++stats_.scans;
   stats_.scan_work += work;
   stats_.scan_work_by_queue[k].add(static_cast<double>(work));
+  cm.scans.inc();
+  cm.unit_queue_peak.update_max(static_cast<double>(units_.size()));
   return work;
 }
 
@@ -142,6 +179,7 @@ std::optional<std::size_t> SelfHealingController::recover_one() {
   const bool allowed = alerts_.empty() || units_.size() >= config_.recovery_buffer;
   if (!allowed) return std::nullopt;  // no recovery execution in SCAN
 
+  obs::Span span("controller.recover", "recovery");
   const int k = static_cast<int>(units_.size());
   auto plan = std::move(units_.front());
   units_.pop_front();
@@ -154,12 +192,14 @@ std::optional<std::size_t> SelfHealingController::recover_one() {
   ++stats_.recoveries;
   stats_.recovery_work += outcome.work_units;
   stats_.recovery_work_by_queue[k].add(static_cast<double>(outcome.work_units));
+  controller_metrics().recoveries.inc();
 
   if (state() == SystemState::kNormal) release_pending();
   return outcome.work_units;
 }
 
 std::size_t SelfHealingController::drain() {
+  obs::Span span("controller.drain", "recovery");
   std::size_t total = 0;
   while (state() != SystemState::kNormal) {
     if (auto work = scan_one()) {

@@ -6,11 +6,33 @@
 #include <set>
 #include <stdexcept>
 
+#include "selfheal/obs/metrics.hpp"
+#include "selfheal/obs/trace.hpp"
 #include "selfheal/recovery/replay_order.hpp"
 
 namespace selfheal::recovery {
 
 namespace {
+
+struct SchedulerMetrics {
+  obs::Counter& plans_executed = obs::metrics().counter("recovery.plans_executed");
+  obs::Counter& undo_tasks = obs::metrics().counter("recovery.undo_tasks");
+  obs::Counter& redo_tasks = obs::metrics().counter("recovery.redo_tasks");
+  obs::Counter& fresh_tasks = obs::metrics().counter("recovery.fresh_tasks");
+  obs::Counter& reused_tasks = obs::metrics().counter("recovery.reused_tasks");
+  obs::Counter& orphaned_tasks = obs::metrics().counter("recovery.orphaned_tasks");
+  obs::Counter& repair_entries = obs::metrics().counter("recovery.repair_entries");
+  obs::Counter& divergences = obs::metrics().counter("recovery.divergences");
+  obs::Counter& work_units = obs::metrics().counter("recovery.work_units");
+  obs::StatMetric& execute_ms = obs::metrics().stats("scheduler.execute_ms");
+  obs::HistogramMetric& undo_depth =
+      obs::metrics().histogram("recovery.undo_cascade_depth", 0, 256, 32);
+};
+
+SchedulerMetrics& scheduler_metrics() {
+  static SchedulerMetrics m;
+  return m;
+}
 using engine::SeqNo;
 using engine::Value;
 using wfspec::ObjectId;
@@ -103,6 +125,9 @@ bool RecoveryOutcome::was_redone(InstanceId id) const {
 }
 
 RecoveryOutcome RecoveryScheduler::execute(const RecoveryPlan& plan) {
+  auto& sm = scheduler_metrics();
+  obs::Span span("scheduler.execute", "recovery");
+  const obs::ScopedTimerMs timer(sm.execute_ms);
   auto& engine = *engine_;
   const auto& log = engine.log();
   const auto specs = engine.specs_by_run();
@@ -137,6 +162,7 @@ RecoveryOutcome RecoveryScheduler::execute(const RecoveryPlan& plan) {
   };
 
   // ---- Phase 1: undo the damage closure, reverse slot order. ----
+  obs::Span undo_span("scheduler.undo_phase", "recovery");
   std::vector<InstanceId> damage = plan.damaged;
   std::sort(damage.begin(), damage.end(), [&](InstanceId a, InstanceId b) {
     return log.entry(a).logical_slot > log.entry(b).logical_slot;
@@ -149,6 +175,7 @@ RecoveryOutcome RecoveryScheduler::execute(const RecoveryPlan& plan) {
     }
     commit_undo(id);
   }
+  undo_span.end();
 
   // ---- Phase 2: slot-ordered replay over a clean timeline. ----
   SimStore sim;
@@ -186,6 +213,7 @@ RecoveryOutcome RecoveryScheduler::execute(const RecoveryPlan& plan) {
 
   std::set<InstanceId> visited;
 
+  obs::Span replay_span("scheduler.replay_phase", "recovery");
   while (true) {
     const auto pick = pick_next_run(cursors);
     if (pick == static_cast<std::size_t>(-1)) break;  // all runs done
@@ -321,8 +349,10 @@ RecoveryOutcome RecoveryScheduler::execute(const RecoveryPlan& plan) {
   for (const auto id : outcome.undone) {
     if (!visited.count(id)) outcome.orphaned.push_back(id);
   }
+  replay_span.end();
 
   // ---- Phase 3: reconcile masked writes against the clean timeline. ----
+  obs::Span reconcile_span("scheduler.reconcile_phase", "recovery");
   std::vector<std::pair<ObjectId, Value>> fixes;
   const auto& store = engine.store();
   for (std::size_t o = 0; o < store.object_count(); ++o) {
@@ -343,7 +373,23 @@ RecoveryOutcome RecoveryScheduler::execute(const RecoveryPlan& plan) {
     outcome.repair_entries.push_back(rid);
     outcome.action_entries.push_back(rid);
   }
+  reconcile_span.end();
 
+  sm.plans_executed.inc();
+  sm.undo_tasks.inc(outcome.undone.size());
+  sm.redo_tasks.inc(outcome.redone.size());
+  sm.fresh_tasks.inc(outcome.fresh_entries.size());
+  sm.reused_tasks.inc(outcome.reused);
+  sm.orphaned_tasks.inc(outcome.orphaned.size());
+  sm.repair_entries.inc(outcome.repair_entries.size());
+  sm.divergences.inc(outcome.divergences);
+  sm.work_units.inc(outcome.work_units);
+  sm.undo_depth.observe(static_cast<double>(outcome.undone.size()));
+  if (span.active()) {
+    span.set_detail("undone=" + std::to_string(outcome.undone.size()) +
+                    " redone=" + std::to_string(outcome.redone.size()) +
+                    " reused=" + std::to_string(outcome.reused));
+  }
   return outcome;
 }
 

@@ -2,11 +2,29 @@
 
 #include <stdexcept>
 
+#include "selfheal/obs/metrics.hpp"
+#include "selfheal/obs/trace.hpp"
+
 namespace selfheal::sim {
+
+namespace {
+
+struct DesMetrics {
+  obs::Counter& events = obs::metrics().counter("des.events_processed");
+  obs::Gauge& queue_peak = obs::metrics().gauge("des.queue_peak");
+};
+
+DesMetrics& des_metrics() {
+  static DesMetrics m;
+  return m;
+}
+
+}  // namespace
 
 void EventQueue::schedule(double time, Handler handler) {
   if (time < now_) throw std::invalid_argument("EventQueue: scheduling in the past");
   queue_.push(Event{time, counter_++, std::move(handler)});
+  des_metrics().queue_peak.update_max(static_cast<double>(queue_.size()));
 }
 
 void EventQueue::schedule_in(double delay, Handler handler) {
@@ -19,9 +37,14 @@ void EventQueue::run_until(double t_end) {
     Event event = queue_.top();
     queue_.pop();
     now_ = event.time;
+    // Publish virtual time so spans opened inside handlers (controller,
+    // analyzer, scheduler) carry logical-event-time windows.
+    obs::tracer().set_logical_time(now_);
+    des_metrics().events.inc();
     event.handler();
   }
   now_ = t_end;
+  obs::tracer().set_logical_time(now_);
 }
 
 void EventQueue::run_all() {
@@ -29,6 +52,8 @@ void EventQueue::run_all() {
     Event event = queue_.top();
     queue_.pop();
     now_ = event.time;
+    obs::tracer().set_logical_time(now_);
+    des_metrics().events.inc();
     event.handler();
   }
 }

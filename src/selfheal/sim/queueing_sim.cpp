@@ -1,10 +1,15 @@
 #include "selfheal/sim/queueing_sim.hpp"
 
+#include "selfheal/obs/metrics.hpp"
+#include "selfheal/obs/trace.hpp"
+
 namespace selfheal::sim {
 
 QueueingResult simulate_queueing(const ctmc::RecoveryStgConfig& config,
                                  double horizon, util::Rng& rng,
                                  const std::optional<ctmc::BurstModel>& burst) {
+  static obs::Counter& transitions = obs::metrics().counter("sim.queueing_transitions");
+  obs::Span span("sim.queueing_sim", "sim");
   QueueingResult result;
   result.horizon = horizon;
   bool in_burst = false;
@@ -84,6 +89,7 @@ QueueingResult simulate_queueing(const ctmc::RecoveryStgConfig& config,
 
     accumulate(step);
     now += dt;
+    transitions.inc();
     if (now >= horizon) break;
 
     const double pick = rng.uniform(0.0, total);

@@ -1,11 +1,26 @@
 #include "selfheal/sim/system_sim.hpp"
 
+#include "selfheal/obs/metrics.hpp"
+#include "selfheal/obs/trace.hpp"
 #include "selfheal/recovery/correctness.hpp"
 #include "selfheal/sim/des.hpp"
 
 namespace selfheal::sim {
 
 namespace {
+
+struct SystemSimMetrics {
+  obs::Counter& attacks = obs::metrics().counter("sim.attacks");
+  obs::Counter& benign_runs = obs::metrics().counter("sim.benign_runs");
+  /// Virtual time the system spent outside NORMAL -- the window in which
+  /// Theorem 4 blocks or defers newly submitted normal tasks.
+  obs::Gauge& blocked_time = obs::metrics().gauge("scheduler.blocked_time");
+};
+
+SystemSimMetrics& system_sim_metrics() {
+  static SystemSimMetrics m;
+  return m;
+}
 
 /// Shared mutable simulation state bound into the event handlers.
 struct SimWorld {
@@ -49,6 +64,9 @@ struct SimWorld {
       case recovery::SystemState::kScan: t_scan += span; break;
       case recovery::SystemState::kRecovery: t_recovery += span; break;
     }
+    if (last_state != recovery::SystemState::kNormal && span > 0) {
+      system_sim_metrics().blocked_time.add(span);
+    }
     last_state_change = now;
     last_state = controller.state();
   }
@@ -85,6 +103,7 @@ struct SimWorld {
     events.schedule_in(rng.exponential(config.attack_rate), [this] {
       if (events.now() >= config.horizon) return;  // generation stops here
       ++attacks;
+      system_sim_metrics().attacks.inc();
       const auto& spec = fresh_spec();
       const auto run = engine.start_run(spec);
       engine.inject_malicious(run, spec.start());
@@ -113,6 +132,7 @@ struct SimWorld {
     events.schedule_in(rng.exponential(config.benign_rate), [this] {
       if (events.now() >= config.horizon) return;
       ++benign_runs;
+      system_sim_metrics().benign_runs.inc();
       controller.submit_run(fresh_spec());
       schedule_benign();
     });
@@ -122,6 +142,7 @@ struct SimWorld {
 }  // namespace
 
 SystemSimResult run_system_sim(const SystemSimConfig& config) {
+  obs::Span span("sim.system_sim", "sim");
   SimWorld world(config);
   world.schedule_attack();
   world.schedule_benign();

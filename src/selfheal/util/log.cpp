@@ -2,11 +2,19 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <utility>
 
 namespace selfheal::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+// Guards the sink pointer AND serializes sink invocations, so a sink
+// swap cannot race an in-flight message and custom sinks need no
+// internal locking of their own.
+std::mutex g_sink_mutex;
+LogSink g_sink;  // empty = default stderr sink
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -24,9 +32,26 @@ void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 
 LogLevel log_level() noexcept { return g_level.load(); }
 
+LogSink set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  LogSink previous = std::move(g_sink);
+  g_sink = std::move(sink);
+  return previous;
+}
+
 void log_message(LogLevel level, const std::string& message) {
   if (level < log_level()) return;
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(level, message);
+    return;
+  }
+  // One preformatted line, one fwrite: lines from concurrent threads
+  // never interleave even if stderr is shared with other writers.
+  std::string line;
+  line.reserve(message.size() + 10);
+  line.append("[").append(level_name(level)).append("] ").append(message).append("\n");
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace selfheal::util

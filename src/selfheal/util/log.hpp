@@ -1,7 +1,12 @@
 // Minimal leveled logger. The recovery controller narrates what it does
 // at Debug level; benches and tests run at Warn to stay quiet.
+//
+// Thread-safe: concurrent log_message calls never interleave within a
+// line (each line is preformatted and emitted in one fwrite), and sink
+// replacement is serialized against in-flight messages.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -12,6 +17,15 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 /// Process-wide minimum level; messages below it are discarded.
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
+
+/// Receives every emitted message (already level-filtered), e.g. the
+/// obs layer's capture buffer or a test assertion hook.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Replaces the output sink; nullptr restores the default (one
+/// preformatted line per message to stderr). Returns the previous sink
+/// (empty if the default was active) so callers can chain/restore.
+LogSink set_log_sink(LogSink sink);
 
 void log_message(LogLevel level, const std::string& message);
 

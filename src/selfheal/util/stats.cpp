@@ -31,17 +31,18 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
       counts_(buckets, 0) {}
 
 void Histogram::add(double x) noexcept {
-  std::size_t idx;
-  if (x < lo_) {
-    idx = 0;
-  } else if (x >= hi_) {
-    idx = counts_.size() - 1;
-  } else {
-    idx = static_cast<std::size_t>((x - lo_) / bucket_width_);
-    idx = std::min(idx, counts_.size() - 1);
-  }
-  ++counts_[idx];
   ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / bucket_width_);
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
 }
 
 double Histogram::bucket_lo(std::size_t i) const noexcept {
@@ -51,7 +52,8 @@ double Histogram::bucket_lo(std::size_t i) const noexcept {
 double Histogram::quantile(double q) const noexcept {
   if (total_ == 0) return lo_;
   const double target = q * static_cast<double>(total_);
-  double cumulative = 0.0;
+  double cumulative = static_cast<double>(underflow_);
+  if (cumulative >= target && underflow_ > 0) return lo_;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     cumulative += static_cast<double>(counts_[i]);
     if (cumulative >= target) return bucket_lo(i) + bucket_width_ / 2.0;
@@ -63,6 +65,7 @@ std::string Histogram::render(std::size_t width) const {
   std::uint64_t peak = 1;
   for (auto c : counts_) peak = std::max(peak, c);
   std::ostringstream out;
+  if (underflow_ > 0) out << "(-inf, " << lo_ << ") " << underflow_ << "\n";
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     const auto bar = static_cast<std::size_t>(
         static_cast<double>(counts_[i]) / static_cast<double>(peak) *
@@ -70,6 +73,7 @@ std::string Histogram::render(std::size_t width) const {
     out << "[" << bucket_lo(i) << ", " << bucket_lo(i) + bucket_width_ << ") "
         << std::string(bar, '#') << " " << counts_[i] << "\n";
   }
+  if (overflow_ > 0) out << "[" << hi_ << ", +inf) " << overflow_ << "\n";
   return out.str();
 }
 

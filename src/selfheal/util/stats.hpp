@@ -42,8 +42,10 @@ class RunningStats {
   double max_ = 0.0;
 };
 
-/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
-/// first/last bucket so no observation is silently dropped.
+/// Fixed-width histogram over [lo, hi); out-of-range samples are counted
+/// explicitly as underflow (x < lo) or overflow (x >= hi) rather than
+/// clamped into the edge buckets, so the range misconfiguration that
+/// would otherwise silently skew the edge buckets is observable.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t buckets);
@@ -52,12 +54,22 @@ class Histogram {
 
   [[nodiscard]] std::size_t bucket_count() const noexcept { return counts_.size(); }
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  /// Every observation ever added, including under/overflow.
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t in_range() const noexcept {
+    return total_ - underflow_ - overflow_;
+  }
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
   [[nodiscard]] double bucket_lo(std::size_t i) const noexcept;
-  /// Approximate quantile (q in [0,1]) from bucket midpoints.
+  /// Approximate quantile (q in [0,1]) from bucket midpoints; underflow
+  /// mass reports lo and overflow mass reports hi.
   [[nodiscard]] double quantile(double q) const noexcept;
 
-  /// Renders an ASCII bar chart, one line per bucket.
+  /// Renders an ASCII bar chart, one line per bucket (plus under/overflow
+  /// lines when nonzero).
   [[nodiscard]] std::string render(std::size_t width = 40) const;
 
  private:
@@ -66,6 +78,8 @@ class Histogram {
   double bucket_width_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
 };
 
 /// Time-weighted average of a piecewise-constant signal (queue lengths,

@@ -130,15 +130,22 @@ TEST(RunningStats, MergeMatchesCombined) {
   EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
 }
 
-TEST(Histogram, BucketsAndClamping) {
+TEST(Histogram, BucketsAndOutOfRangeCounts) {
   Histogram h(0.0, 10.0, 10);
   h.add(0.5);
   h.add(9.5);
-  h.add(-100.0);  // clamps to the first bucket
-  h.add(100.0);   // clamps to the last bucket
-  EXPECT_EQ(h.bucket(0), 2u);
-  EXPECT_EQ(h.bucket(9), 2u);
-  EXPECT_EQ(h.total(), 4u);
+  h.add(-100.0);  // below lo: counted as underflow, not clamped
+  h.add(100.0);   // at/above hi: counted as overflow
+  h.add(10.0);    // hi itself is exclusive
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.in_range(), 2u);
+  EXPECT_EQ(h.total(), 5u);
+  const std::string chart = h.render();
+  EXPECT_NE(chart.find("(-inf, 0)"), std::string::npos);
+  EXPECT_NE(chart.find("[10, +inf)"), std::string::npos);
 }
 
 TEST(Histogram, QuantileApproximation) {
