@@ -6,11 +6,25 @@
 // core advantage over checkpoint rollback (Section I: a checkpoint
 // "rolls back the whole workflow system ... all work will be lost").
 //
-// Supports --metrics-out FILE (JSONL snapshot), --trace-out FILE
-// (Chrome trace_event JSON), --metrics-summary.
+// Two analyze columns per fleet size anchor the perf trajectory:
+//   * rebuild ms -- construct the dependence graph from scratch, then
+//     analyze (the pre-incremental controller behaviour);
+//   * incr ms    -- refresh a long-lived incremental graph (no new
+//     entries here, as in a steady-state scan) and analyze; this is the
+//     controller's hot path and must scale with damage, not log size.
+// The third table appends a FIXED batch of workflows to growing base
+// logs: the incremental refresh cost must stay flat while a rebuild
+// grows with the untouched history.
+//
+// Supports --json-out FILE (writes the BENCH_recovery.json trajectory
+// artifact; schema documented in README "Perf baselines"), --big (adds
+// the 1024-workflow point), --metrics-out/--trace-out/--metrics-summary.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "selfheal/obs/artifacts.hpp"
 #include "selfheal/recovery/analyzer.hpp"
@@ -29,23 +43,113 @@ double ms_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+struct FleetRow {
+  std::size_t workflows = 0;
+  std::size_t log_entries = 0;
+  double rebuild_ms = 0;
+  double incr_ms = 0;
+  double recover_ms = 0;
+  std::size_t touched = 0;
+  std::size_t reused = 0;
+  double reuse_pct = 0;
+  bool strict = false;
+  bool plans_equal = false;
+};
+
+struct AttackRow {
+  std::size_t attacks = 0;
+  std::size_t damaged = 0;
+  std::size_t undone = 0;
+  std::size_t redone = 0;
+  double analyze_ms = 0;
+  double recover_ms = 0;
+  bool strict = false;
+};
+
+struct AppendRow {
+  std::size_t base_workflows = 0;
+  std::size_t base_entries = 0;
+  std::size_t delta_entries = 0;
+  double rebuild_ms = 0;
+  double incr_ms = 0;
+  bool edges_equal = false;
+};
+
+const char* json_bool(bool b) { return b ? "true" : "false"; }
+
+void write_json(const std::string& path, const std::vector<FleetRow>& fleet,
+                const std::vector<AttackRow>& attacks,
+                const std::vector<AppendRow>& appends) {
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"bench\": \"recovery_scalability\",\n"
+      << "  \"schema_version\": 1,\n"
+      << "  \"fleet_sweep\": [\n";
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const auto& r = fleet[i];
+    out << "    {\"workflows\": " << r.workflows << ", \"log_entries\": "
+        << r.log_entries << ", \"analyze_rebuild_ms\": " << r.rebuild_ms
+        << ", \"analyze_incremental_ms\": " << r.incr_ms << ", \"recover_ms\": "
+        << r.recover_ms << ", \"touched\": " << r.touched << ", \"reused\": "
+        << r.reused << ", \"reuse_pct\": " << r.reuse_pct << ", \"strict\": "
+        << json_bool(r.strict) << ", \"plans_equal\": " << json_bool(r.plans_equal)
+        << "}" << (i + 1 < fleet.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"attack_sweep\": [\n";
+  for (std::size_t i = 0; i < attacks.size(); ++i) {
+    const auto& r = attacks[i];
+    out << "    {\"attacks\": " << r.attacks << ", \"damaged\": " << r.damaged
+        << ", \"undone\": " << r.undone << ", \"redone\": " << r.redone
+        << ", \"analyze_ms\": " << r.analyze_ms << ", \"recover_ms\": "
+        << r.recover_ms << ", \"strict\": " << json_bool(r.strict) << "}"
+        << (i + 1 < attacks.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"incremental_append\": [\n";
+  for (std::size_t i = 0; i < appends.size(); ++i) {
+    const auto& r = appends[i];
+    out << "    {\"base_workflows\": " << r.base_workflows << ", \"base_entries\": "
+        << r.base_entries << ", \"delta_entries\": " << r.delta_entries
+        << ", \"rebuild_ms\": " << r.rebuild_ms << ", \"refresh_ms\": " << r.incr_ms
+        << ", \"edges_equal\": " << json_bool(r.edges_equal) << "}"
+        << (i + 1 < appends.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Flags flags(argc, argv);
   obs::init_from_flags(flags);
+  const bool big = flags.get_bool("big", false);
+
+  std::vector<std::size_t> fleet_sizes{4, 16, 64, 256};
+  if (big) fleet_sizes.push_back(1024);
+
   std::printf("Recovery scalability (1 attack, growing fleet of workflows)\n\n");
-  util::Table by_size({"workflows", "log entries", "analyze ms", "recover ms",
-                       "touched", "reused", "reuse %", "strict"});
+  std::vector<FleetRow> fleet_rows;
+  util::Table by_size({"workflows", "log entries", "rebuild ms", "incr ms",
+                       "recover ms", "touched", "reused", "reuse %", "strict"});
   by_size.set_precision(3);
-  for (const std::size_t workflows : {4u, 16u, 64u, 256u}) {
+  for (const std::size_t workflows : fleet_sizes) {
     auto scenario = sim::make_attack_scenario(0xabc, workflows, 1);
     auto& eng = *scenario.engine;
 
+    // Cold path: dependence graph rebuilt from scratch per scan.
     auto t0 = std::chrono::steady_clock::now();
-    const recovery::RecoveryAnalyzer analyzer(eng);
-    const auto plan = analyzer.analyze(scenario.malicious);
-    const double analyze_ms = ms_since(t0);
+    const recovery::RecoveryAnalyzer cold(eng);
+    const auto cold_plan = cold.analyze(scenario.malicious);
+    const double rebuild_ms = ms_since(t0);
+
+    // Hot path: a long-lived incremental graph, already synced by the
+    // previous scan; refresh is O(entries since then) -- zero here.
+    deps::DependencyAnalyzer deps(eng.log(), eng.specs_by_run());
+    t0 = std::chrono::steady_clock::now();
+    deps.refresh(eng.log(), eng.specs_by_run());
+    const recovery::RecoveryAnalyzer hot(eng, deps);
+    const auto plan = hot.analyze(scenario.malicious);
+    const double incr_ms = ms_since(t0);
+    const bool plans_equal = plan == cold_plan;
 
     t0 = std::chrono::steady_clock::now();
     recovery::RecoveryScheduler scheduler(eng);
@@ -57,12 +161,18 @@ int main(int argc, char** argv) {
     const double reuse_pct =
         100.0 * static_cast<double>(outcome.reused) / static_cast<double>(processed);
     const auto report = recovery::CorrectnessChecker(eng).check();
-    by_size.add(workflows, eng.log().size(), analyze_ms, recover_ms, touched,
-                outcome.reused, reuse_pct, report.strict_correct() ? "yes" : "NO");
+    const bool strict = report.strict_correct();
+    by_size.add(workflows, eng.log().size(), rebuild_ms, incr_ms, recover_ms,
+                touched, outcome.reused, reuse_pct,
+                strict && plans_equal ? "yes" : "NO");
+    fleet_rows.push_back({workflows, eng.log().size(), rebuild_ms, incr_ms,
+                          recover_ms, touched, outcome.reused, reuse_pct, strict,
+                          plans_equal});
   }
   std::printf("%s", by_size.render().c_str());
 
   std::printf("\nRecovery scalability (16 workflows, growing attack count)\n\n");
+  std::vector<AttackRow> attack_rows;
   util::Table by_attacks({"attacks", "damaged", "undone", "redone", "analyze ms",
                           "recover ms", "strict"});
   by_attacks.set_precision(3);
@@ -81,13 +191,65 @@ int main(int argc, char** argv) {
     const double recover_ms = ms_since(t0);
 
     const auto report = recovery::CorrectnessChecker(eng).check();
+    const bool strict = report.strict_correct();
     by_attacks.add(attacks, plan.damaged.size(), outcome.undone.size(),
                    outcome.redone.size(), analyze_ms, recover_ms,
-                   report.strict_correct() ? "yes" : "NO");
+                   strict ? "yes" : "NO");
+    attack_rows.push_back({attacks, plan.damaged.size(), outcome.undone.size(),
+                           outcome.redone.size(), analyze_ms, recover_ms, strict});
   }
   std::printf("%s", by_attacks.render().c_str());
+
+  // Fixed 16-workflow append batch over a growing base: the incremental
+  // refresh must cost O(delta) regardless of the untouched history,
+  // while a scratch rebuild pays for the whole log every time.
+  std::printf("\nIncremental refresh (16-workflow append batch, growing base)\n\n");
+  std::vector<AppendRow> append_rows;
+  util::Table by_base({"base wf", "base entries", "delta entries", "rebuild ms",
+                       "refresh ms", "speedup"});
+  by_base.set_precision(3);
+  std::vector<std::size_t> base_sizes{16, 64, 256};
+  if (big) base_sizes.push_back(1024);
+  for (const std::size_t base : base_sizes) {
+    auto scenario = sim::make_attack_scenario(0x777, base, 1);
+    auto& eng = *scenario.engine;
+    deps::DependencyAnalyzer incremental(eng.log(), eng.specs_by_run());
+    const std::size_t base_entries = eng.log().size();
+
+    const std::size_t delta_runs = std::min<std::size_t>(16, scenario.specs.size());
+    for (std::size_t i = 0; i < delta_runs; ++i) {
+      eng.start_run(*scenario.specs[i]);
+    }
+    eng.run_all();
+    const std::size_t delta_entries = eng.log().size() - base_entries;
+
+    auto t0 = std::chrono::steady_clock::now();
+    incremental.refresh(eng.log(), eng.specs_by_run());
+    const double incr_ms = ms_since(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    const deps::DependencyAnalyzer rebuilt(eng.log(), eng.specs_by_run());
+    const double rebuild_ms = ms_since(t0);
+
+    const bool edges_equal = incremental.edges() == rebuilt.edges();
+    by_base.add(base, base_entries, delta_entries, rebuild_ms, incr_ms,
+                incr_ms > 0 ? rebuild_ms / incr_ms : 0.0);
+    append_rows.push_back(
+        {base, base_entries, delta_entries, rebuild_ms, incr_ms, edges_equal});
+    if (!edges_equal) std::printf("!! incremental/rebuild edge mismatch\n");
+  }
+  std::printf("%s", by_base.render().c_str());
+
   std::printf("\n# The reuse column is the point: recovery touches the damage\n"
-              "# closure, not the whole log -- unlike checkpoint rollback.\n");
+              "# closure, not the whole log -- unlike checkpoint rollback.\n"
+              "# incr ms is the controller's steady-state scan path: refresh\n"
+              "# of a live dependence graph + analyze, O(damage) not O(log).\n");
+
+  if (flags.has("json-out")) {
+    const auto path = flags.get("json-out", "BENCH_recovery.json");
+    write_json(path, fleet_rows, attack_rows, append_rows);
+    std::printf("\n# wrote %s\n", path.c_str());
+  }
   obs::flush_from_flags(flags);
   return 0;
 }

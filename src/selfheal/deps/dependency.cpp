@@ -1,12 +1,30 @@
 #include "selfheal/deps/dependency.hpp"
 
 #include <algorithm>
-#include <deque>
-#include <map>
-#include <set>
 #include <sstream>
 
+#include "selfheal/obs/metrics.hpp"
+
 namespace selfheal::deps {
+
+namespace {
+
+struct DepsMetrics {
+  obs::Counter& incremental_appends = obs::metrics().counter("deps.incremental_appends");
+  obs::Counter& full_rebuilds = obs::metrics().counter("deps.full_rebuilds");
+  obs::StatMetric& closure_visited = obs::metrics().stats("analyzer.closure_visited");
+};
+
+DepsMetrics& deps_metrics() {
+  static DepsMetrics m;
+  return m;
+}
+
+/// Seal when the unsealed overflow outgrows a quarter of the sealed
+/// prefix: appends stay O(1) amortised and iteration stays mostly flat.
+constexpr std::size_t kSealSlack = 256;
+
+}  // namespace
 
 const char* to_string(DepKind kind) {
   switch (kind) {
@@ -21,96 +39,229 @@ const char* to_string(DepKind kind) {
 DependencyAnalyzer::DependencyAnalyzer(
     const engine::SystemLog& log,
     const std::vector<const wfspec::WorkflowSpec*>& spec_of_run) {
-  const std::size_t n = log.size();
-  out_.resize(n);
-  in_.resize(n);
+  rebuild(log, spec_of_run);
+}
 
-  auto add_edge = [&](InstanceId from, InstanceId to, DepKind kind,
-                      wfspec::ObjectId object) {
-    if (from == to) return;
-    edges_.push_back(DepEdge{from, to, kind, object});
-    out_[static_cast<std::size_t>(from)].push_back(edges_.size() - 1);
-    in_[static_cast<std::size_t>(to)].push_back(edges_.size() - 1);
-  };
+void DependencyAnalyzer::reset_state() {
+  edges_.clear();
+  in_begin_.clear();
+  in_count_.clear();
+  out_start_.clear();
+  out_csr_.clear();
+  sealed_edges_ = 0;
+  out_head_.clear();
+  out_next_.clear();
+  last_writer_by_object_.clear();
+  readers_since_write_.clear();
+  readers_by_object_.clear();
+  last_instance_by_run_.clear();
+  processed_ = 0;
+  recovery_entries_seen_ = 0;
+  n_ = 0;
+}
+
+void DependencyAnalyzer::rebuild(
+    const engine::SystemLog& log,
+    const std::vector<const wfspec::WorkflowSpec*>& spec_of_run) {
+  reset_state();
+  log_ = &log;
+  specs_ = spec_of_run;
+  n_ = log.size();
+  in_begin_.assign(n_, 0);
+  in_count_.assign(n_, 0);
+  out_head_.assign(n_, -1);
 
   // The analysis runs over the EFFECTIVE execution in logical-slot
   // order: before any recovery this is exactly the original log; after
   // a recovery round it is the repaired schedule, so later rounds see
   // dependences through redone/fresh entries too.
-  const auto effective = log.effective();
+  for (const auto id : log.effective()) ingest(log.entry(id));
 
-  // --- Data dependences: one forward sweep per the commit order,
-  // tracking per object the last writer and the readers since.
-  struct ObjectState {
-    InstanceId last_writer = engine::kInvalidInstance;
-    std::vector<InstanceId> readers_since_write;
-  };
-  std::map<wfspec::ObjectId, ObjectState> state;
+  processed_ = log.size();
+  recovery_entries_seen_ = log.recovery_entry_count();
+  seal();
+  deps_metrics().full_rebuilds.inc();
+}
 
-  for (const auto id : effective) {
-    const auto& e = log.entry(id);
-    // Read phase first (a task reads the pre-state, then writes).
-    for (const auto object : e.read_objects) {
-      auto& s = state[object];
-      if (s.last_writer != engine::kInvalidInstance) {
-        add_edge(s.last_writer, e.id, DepKind::kFlow, object);
-      }
-      s.readers_since_write.push_back(e.id);
-    }
-    for (const auto object : e.written_objects) {
-      auto& s = state[object];
-      for (const InstanceId reader : s.readers_since_write) {
-        add_edge(reader, e.id, DepKind::kAnti, object);
-      }
-      if (s.last_writer != engine::kInvalidInstance) {
-        add_edge(s.last_writer, e.id, DepKind::kOutput, object);
-      }
-      s.last_writer = e.id;
-      s.readers_since_write.clear();
-    }
+bool DependencyAnalyzer::refresh(
+    const engine::SystemLog& log,
+    const std::vector<const wfspec::WorkflowSpec*>& spec_of_run) {
+  // Invalidation rule: the incremental path is sound only while the
+  // graph is a prefix of the current effective schedule. New ORIGINAL
+  // entries preserve that (their fresh logical slots sort after every
+  // existing entry and they never evict one); any recovery entry rewrites
+  // the schedule (undos evict, redos/freshes re-slot), so rebuild.
+  const bool same_log = log_ == &log && processed_ <= log.size();
+  const bool schedule_intact =
+      same_log && log.recovery_entry_count() == recovery_entries_seen_;
+  if (!schedule_intact) {
+    rebuild(log, spec_of_run);
+    return false;
   }
 
-  // --- Control dependences: per run, from the latest preceding instance
-  // of each dominant (branch) node of the task.
-  // last_instance[(run, task)] tracks the most recent incarnation seen.
-  std::map<std::pair<engine::RunId, wfspec::TaskId>, InstanceId> last_instance;
-  for (const auto id : effective) {
-    const auto& e = log.entry(id);
-    const auto* spec = e.run >= 0 && static_cast<std::size_t>(e.run) < spec_of_run.size()
-                           ? spec_of_run[static_cast<std::size_t>(e.run)]
-                           : nullptr;
-    if (spec != nullptr) {
-      for (const auto dominant : spec->dominant_nodes(e.task)) {
-        const auto it = last_instance.find({e.run, dominant});
-        if (it != last_instance.end()) {
-          add_edge(it->second, e.id, DepKind::kControl, wfspec::kInvalidObject);
-        }
-      }
-    }
-    last_instance[{e.run, e.task}] = e.id;
+  specs_ = spec_of_run;
+  if (processed_ == log.size()) return true;  // nothing new
+
+  n_ = log.size();
+  in_begin_.resize(n_, 0);
+  in_count_.resize(n_, 0);
+  out_head_.resize(n_, -1);
+  for (std::size_t i = processed_; i < n_; ++i) {
+    ingest(log.entry(static_cast<InstanceId>(i)));
+  }
+  processed_ = n_;
+  if (edges_.size() - sealed_edges_ > kSealSlack + sealed_edges_ / 4) seal();
+  deps_metrics().incremental_appends.inc();
+  return true;
+}
+
+const wfspec::WorkflowSpec* DependencyAnalyzer::spec_for(engine::RunId run) const {
+  return run >= 0 && static_cast<std::size_t>(run) < specs_.size()
+             ? specs_[static_cast<std::size_t>(run)]
+             : nullptr;
+}
+
+void DependencyAnalyzer::ensure_object(wfspec::ObjectId object) {
+  const auto o = static_cast<std::size_t>(object);
+  if (o >= last_writer_by_object_.size()) {
+    last_writer_by_object_.resize(o + 1, engine::kInvalidInstance);
+    readers_since_write_.resize(o + 1);
+    readers_by_object_.resize(o + 1);
   }
 }
 
-std::vector<DepEdge> DependencyAnalyzer::edges_from(InstanceId i) const {
-  std::vector<DepEdge> result;
-  for (const auto idx : out_.at(static_cast<std::size_t>(i))) {
-    result.push_back(edges_[idx]);
+void DependencyAnalyzer::add_edge(InstanceId from, InstanceId to, DepKind kind,
+                                  wfspec::ObjectId object) {
+  if (from == to) return;
+  const auto index = static_cast<EdgeIndex>(edges_.size());
+  edges_.push_back(DepEdge{from, to, kind, object});
+  out_next_.push_back(out_head_[static_cast<std::size_t>(from)]);
+  out_head_[static_cast<std::size_t>(from)] = static_cast<std::int64_t>(index);
+  ++in_count_[static_cast<std::size_t>(to)];
+}
+
+void DependencyAnalyzer::ingest(const engine::TaskInstance& e) {
+  // All edges added below target e.id, so this entry's in-edges form the
+  // next contiguous range of edges_ (the implicit in-CSR).
+  in_begin_[static_cast<std::size_t>(e.id)] = static_cast<EdgeIndex>(edges_.size());
+
+  // Read phase first (a task reads the pre-state, then writes).
+  for (const auto object : e.read_objects) {
+    ensure_object(object);
+    const auto o = static_cast<std::size_t>(object);
+    if (last_writer_by_object_[o] != engine::kInvalidInstance) {
+      add_edge(last_writer_by_object_[o], e.id, DepKind::kFlow, object);
+    }
+    readers_since_write_[o].push_back(e.id);
+    readers_by_object_[o].push_back(ReaderRecord{e.logical_slot, e.id});
   }
+  for (const auto object : e.written_objects) {
+    ensure_object(object);
+    const auto o = static_cast<std::size_t>(object);
+    for (const InstanceId reader : readers_since_write_[o]) {
+      add_edge(reader, e.id, DepKind::kAnti, object);
+    }
+    if (last_writer_by_object_[o] != engine::kInvalidInstance) {
+      add_edge(last_writer_by_object_[o], e.id, DepKind::kOutput, object);
+    }
+    last_writer_by_object_[o] = e.id;
+    readers_since_write_[o].clear();
+  }
+
+  // Control dependences: from the latest preceding instance of each
+  // dominant (branch) node of the task, within the same run.
+  if (const auto* spec = spec_for(e.run)) {
+    const auto r = static_cast<std::size_t>(e.run);
+    if (r >= last_instance_by_run_.size()) last_instance_by_run_.resize(r + 1);
+    auto& last_instance = last_instance_by_run_[r];
+    if (last_instance.size() < spec->task_count()) {
+      last_instance.resize(spec->task_count(), engine::kInvalidInstance);
+    }
+    for (const auto dominant : spec->dominant_nodes(e.task)) {
+      const auto prior = last_instance[static_cast<std::size_t>(dominant)];
+      if (prior != engine::kInvalidInstance) {
+        add_edge(prior, e.id, DepKind::kControl, wfspec::kInvalidObject);
+      }
+    }
+    last_instance[static_cast<std::size_t>(e.task)] = e.id;
+  }
+
+  const auto count = static_cast<EdgeIndex>(edges_.size()) -
+                     in_begin_[static_cast<std::size_t>(e.id)];
+  in_count_[static_cast<std::size_t>(e.id)] = count;
+}
+
+void DependencyAnalyzer::seal() {
+  // Counting sort of ALL edge indices by source instance -> flat CSR.
+  out_start_.assign(n_ + 1, 0);
+  for (const auto& e : edges_) {
+    ++out_start_[static_cast<std::size_t>(e.from) + 1];
+  }
+  for (std::size_t i = 1; i <= n_; ++i) out_start_[i] += out_start_[i - 1];
+  out_csr_.resize(edges_.size());
+  std::vector<EdgeIndex> cursor(out_start_.begin(), out_start_.end() - 1);
+  for (EdgeIndex idx = 0; idx < edges_.size(); ++idx) {
+    out_csr_[cursor[static_cast<std::size_t>(edges_[idx].from)]++] = idx;
+  }
+  sealed_edges_ = edges_.size();
+  std::fill(out_head_.begin(), out_head_.end(), -1);
+  out_next_.clear();
+}
+
+std::vector<DepEdge> DependencyAnalyzer::edges_from(InstanceId i) const {
+  if (i < 0 || static_cast<std::size_t>(i) >= n_) {
+    throw std::out_of_range("DependencyAnalyzer::edges_from: invalid instance");
+  }
+  // Insertion order: the sealed CSR range is already oldest-first; the
+  // overflow chain is newest-first, so that part is reversed.
+  std::vector<DepEdge> result;
+  const auto node = static_cast<std::size_t>(i);
+  if (node + 1 < out_start_.size()) {
+    for (auto k = out_start_[node]; k < out_start_[node + 1]; ++k) {
+      result.push_back(edges_[out_csr_[k]]);
+    }
+  }
+  const auto sealed_count = result.size();
+  for (std::int64_t e = out_head_[node]; e >= 0;
+       e = out_next_[static_cast<std::size_t>(e) - sealed_edges_]) {
+    result.push_back(edges_[static_cast<std::size_t>(e)]);
+  }
+  std::reverse(result.begin() + static_cast<std::ptrdiff_t>(sealed_count),
+               result.end());
   return result;
 }
 
 std::vector<DepEdge> DependencyAnalyzer::edges_to(InstanceId i) const {
-  std::vector<DepEdge> result;
-  for (const auto idx : in_.at(static_cast<std::size_t>(i))) {
-    result.push_back(edges_[idx]);
+  const auto span = in_edges(i);
+  return {span.begin(), span.end()};
+}
+
+std::span<const DepEdge> DependencyAnalyzer::in_edges(InstanceId i) const {
+  if (i < 0 || static_cast<std::size_t>(i) >= n_) {
+    throw std::out_of_range("DependencyAnalyzer::in_edges: invalid instance");
   }
-  return result;
+  const auto node = static_cast<std::size_t>(i);
+  return {edges_.data() + in_begin_[node], in_count_[node]};
+}
+
+std::span<const DependencyAnalyzer::EdgeIndex> DependencyAnalyzer::out_edge_indices(
+    InstanceId i) const {
+  if (i < 0 || static_cast<std::size_t>(i) >= n_) {
+    throw std::out_of_range("DependencyAnalyzer::out_edge_indices: invalid instance");
+  }
+  if (sealed_edges_ != edges_.size() || out_start_.size() != n_ + 1) {
+    // Lazily fold the overflow into the CSR; scratch-only mutation.
+    const_cast<DependencyAnalyzer*>(this)->seal();
+  }
+  const auto node = static_cast<std::size_t>(i);
+  return {out_csr_.data() + out_start_[node],
+          out_start_[node + 1] - out_start_[node]};
 }
 
 bool DependencyAnalyzer::depends(InstanceId from, InstanceId to, DepKind kind) const {
-  for (const auto idx : out_.at(static_cast<std::size_t>(from))) {
-    const auto& e = edges_[idx];
-    if (e.to == to && e.kind == kind) return true;
+  // The target's in-edges are a contiguous span; scan the smaller side.
+  for (const auto& e : in_edges(to)) {
+    if (e.from == from && e.kind == kind) return true;
   }
   return false;
 }
@@ -118,18 +269,34 @@ bool DependencyAnalyzer::depends(InstanceId from, InstanceId to, DepKind kind) c
 template <typename Filter>
 std::vector<InstanceId> DependencyAnalyzer::closure(
     const std::vector<InstanceId>& seeds, Filter keep) const {
-  std::set<InstanceId> seen(seeds.begin(), seeds.end());
-  std::deque<InstanceId> queue(seeds.begin(), seeds.end());
-  while (!queue.empty()) {
-    const InstanceId i = queue.front();
-    queue.pop_front();
-    for (const auto idx : out_.at(static_cast<std::size_t>(i))) {
-      const auto& e = edges_[idx];
-      if (!keep(e)) continue;
-      if (seen.insert(e.to).second) queue.push_back(e.to);
-    }
+  if (stamp_.size() < n_) stamp_.resize(n_, 0);
+  if (++epoch_ == 0) {  // stamp wrap-around: invalidate all stamps once
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 1;
   }
-  return {seen.begin(), seen.end()};
+  auto& work = worklist_;
+  work.clear();
+  for (const auto id : seeds) {
+    const auto i = static_cast<std::size_t>(id);
+    if (i >= n_ || stamp_[i] == epoch_) continue;
+    stamp_[i] = epoch_;
+    work.push_back(id);
+  }
+  for (std::size_t head = 0; head < work.size(); ++head) {
+    for_each_out_edge(work[head], [&](EdgeIndex idx) {
+      const auto& e = edges_[idx];
+      if (!keep(e)) return;
+      const auto t = static_cast<std::size_t>(e.to);
+      if (stamp_[t] != epoch_) {
+        stamp_[t] = epoch_;
+        work.push_back(e.to);
+      }
+    });
+  }
+  deps_metrics().closure_visited.observe(static_cast<double>(work.size()));
+  std::vector<InstanceId> result(work.begin(), work.end());
+  std::sort(result.begin(), result.end());
+  return result;
 }
 
 std::vector<InstanceId> DependencyAnalyzer::flow_closure(
@@ -142,6 +309,34 @@ std::vector<InstanceId> DependencyAnalyzer::flow_control_closure(
   return closure(seeds, [](const DepEdge& e) {
     return e.kind == DepKind::kFlow || e.kind == DepKind::kControl;
   });
+}
+
+std::vector<InstanceId> DependencyAnalyzer::controlled_by(InstanceId branch) const {
+  std::vector<InstanceId> result;
+  for_each_out_edge(branch, [&](EdgeIndex idx) {
+    const auto& e = edges_[idx];
+    if (e.kind == DepKind::kControl) result.push_back(e.to);
+  });
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::span<const DependencyAnalyzer::ReaderRecord> DependencyAnalyzer::readers_of(
+    wfspec::ObjectId object) const {
+  const auto o = static_cast<std::size_t>(object);
+  if (object < 0 || o >= readers_by_object_.size()) return {};
+  return readers_by_object_[o];
+}
+
+void DependencyAnalyzer::readers_after(wfspec::ObjectId object, engine::SeqNo slot,
+                                       std::vector<InstanceId>& out) const {
+  const auto readers = readers_of(object);
+  // Records are appended in effective-schedule order, so they are sorted
+  // by slot; find the first record strictly after `slot`.
+  auto it = std::upper_bound(
+      readers.begin(), readers.end(), slot,
+      [](engine::SeqNo s, const ReaderRecord& r) { return s < r.slot; });
+  for (; it != readers.end(); ++it) out.push_back(it->reader);
 }
 
 std::string to_dot(const DependencyAnalyzer& deps, const engine::SystemLog& log,
@@ -168,8 +363,17 @@ std::string to_dot(const DependencyAnalyzer& deps, const engine::SystemLog& log,
       case DepKind::kControl: color = "gray"; break;
     }
     out << "  i" << edge.from << " -> i" << edge.to << " [color=" << color;
-    if (edge.object != wfspec::kInvalidObject && !spec_of_run.empty()) {
-      out << ", label=\"" << spec_of_run.front()->catalog().name(edge.object) << "\"";
+    if (edge.object != wfspec::kInvalidObject) {
+      // Name the carrying object through the catalog of the run that
+      // OWNS the edge's source: runs may use distinct catalogs, and the
+      // same interned id can name different objects in each.
+      const auto run = log.entry(edge.from).run;
+      const auto* spec = run >= 0 && static_cast<std::size_t>(run) < spec_of_run.size()
+                             ? spec_of_run[static_cast<std::size_t>(run)]
+                             : nullptr;
+      if (spec != nullptr) {
+        out << ", label=\"" << spec->catalog().name(edge.object) << "\"";
+      }
     } else if (edge.kind == DepKind::kControl) {
       out << ", style=dashed";
     }
@@ -177,16 +381,6 @@ std::string to_dot(const DependencyAnalyzer& deps, const engine::SystemLog& log,
   }
   out << "}\n";
   return out.str();
-}
-
-std::vector<InstanceId> DependencyAnalyzer::controlled_by(InstanceId branch) const {
-  std::vector<InstanceId> result;
-  for (const auto idx : out_.at(static_cast<std::size_t>(branch))) {
-    const auto& e = edges_[idx];
-    if (e.kind == DepKind::kControl) result.push_back(e.to);
-  }
-  std::sort(result.begin(), result.end());
-  return result;
 }
 
 }  // namespace selfheal::deps

@@ -17,9 +17,22 @@
 //     from the most recent instance of each dominant node, and because
 //     dominant_nodes() walks the full dominator chain the emitted edges
 //     already realise the transitive relation ->_c*.
+//
+// The analyzer is INCREMENTAL: a long-lived instance tracks a growing
+// SystemLog and ingests only the new entries per refresh() -- O(their
+// accesses) -- as long as the effective schedule was not rewritten by a
+// recovery round (the invalidation rule; see refresh()). All per-object
+// and per-(run, task) sweep state is kept in dense vectors keyed by the
+// interned ids, adjacency is flat CSR (plus an O(1)-append overflow
+// chain between seals), and closures reuse an epoch-stamped visited
+// array, so query cost scales with the damage closure, not the log.
+//
+// Queries mutate reusable scratch state (epoch stamps, worklist):
+// instances are NOT safe for concurrent use from multiple threads.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "selfheal/engine/system_log.hpp"
@@ -43,19 +56,74 @@ struct DepEdge {
   bool operator==(const DepEdge&) const = default;
 };
 
-/// Builds the dependence graph over the EFFECTIVE execution of a system
-/// log (SystemLog::effective(): originals before any recovery, the
-/// repaired schedule afterwards). Construction is O(log size x accesses).
+/// Builds and incrementally maintains the dependence graph over the
+/// EFFECTIVE execution of a system log (SystemLog::effective():
+/// originals before any recovery, the repaired schedule afterwards).
+/// Full construction is O(log size x accesses); incremental refresh is
+/// O(new entries x accesses).
 class DependencyAnalyzer {
  public:
+  using EdgeIndex = std::uint32_t;
+
+  /// An empty analyzer; call rebuild()/refresh() to attach it to a log.
+  DependencyAnalyzer() = default;
+
+  /// Builds the full graph over `log` (equivalent to rebuild()).
   DependencyAnalyzer(const engine::SystemLog& log,
                      const std::vector<const wfspec::WorkflowSpec*>& spec_of_run);
 
-  [[nodiscard]] const std::vector<DepEdge>& edges() const noexcept { return edges_; }
+  /// Discards all state and rebuilds over the log's current effective
+  /// view. Counted in the `deps.full_rebuilds` metric.
+  void rebuild(const engine::SystemLog& log,
+               const std::vector<const wfspec::WorkflowSpec*>& spec_of_run);
 
-  /// Outgoing / incoming edges of an instance (indices into edges()).
+  /// Brings the graph up to date with `log`. If the log only gained
+  /// ORIGINAL entries since the last sync, they are appended in O(their
+  /// accesses) -- new originals always sort at the tail of the effective
+  /// schedule, so the existing graph is a valid prefix. If a recovery
+  /// round committed undo/redo/fresh/repair entries (rewriting the
+  /// effective schedule), the graph is invalidated and fully rebuilt.
+  /// Returns true when the incremental path was taken.
+  bool refresh(const engine::SystemLog& log,
+               const std::vector<const wfspec::WorkflowSpec*>& spec_of_run);
+
+  [[nodiscard]] const std::vector<DepEdge>& edges() const noexcept { return edges_; }
+  [[nodiscard]] const DepEdge& edge(EdgeIndex index) const { return edges_[index]; }
+
+  /// Outgoing / incoming edges of an instance, copied (compat API; the
+  /// span/visitor accessors below avoid the copies).
   [[nodiscard]] std::vector<DepEdge> edges_from(InstanceId i) const;
   [[nodiscard]] std::vector<DepEdge> edges_to(InstanceId i) const;
+
+  /// Incoming edges of an instance as a zero-copy span: every edge added
+  /// while ingesting instance i targets i, so in-edges are a contiguous
+  /// range of edges() -- the in-adjacency is implicitly CSR.
+  [[nodiscard]] std::span<const DepEdge> in_edges(InstanceId i) const;
+
+  /// Outgoing edge indices of an instance as a zero-copy span into the
+  /// sealed CSR array. Seals the overflow chain first if needed (cost
+  /// O(V+E), amortised across appends); prefer for_each_out_edge() on
+  /// hot incremental paths.
+  [[nodiscard]] std::span<const EdgeIndex> out_edge_indices(InstanceId i) const;
+
+  /// Visits the index of every outgoing edge of `i` without copying or
+  /// sealing: the sealed CSR range first, then the unsealed overflow
+  /// chain (newest first).
+  template <typename Visitor>
+  void for_each_out_edge(InstanceId i, Visitor visit) const {
+    const auto node = static_cast<std::size_t>(i);
+    if (node + 1 < out_start_.size()) {
+      for (auto k = out_start_[node]; k < out_start_[node + 1]; ++k) {
+        visit(out_csr_[k]);
+      }
+    }
+    if (node < out_head_.size()) {
+      for (std::int64_t e = out_head_[node]; e >= 0;
+           e = out_next_[static_cast<std::size_t>(e) - sealed_edges_]) {
+        visit(static_cast<EdgeIndex>(e));
+      }
+    }
+  }
 
   [[nodiscard]] bool depends(InstanceId from, InstanceId to, DepKind kind) const;
 
@@ -73,23 +141,86 @@ class DependencyAnalyzer {
   /// Instances control-dependent (transitively) on `branch`.
   [[nodiscard]] std::vector<InstanceId> controlled_by(InstanceId branch) const;
 
-  [[nodiscard]] std::size_t instance_count() const noexcept {
-    return out_.size();
-  }
+  /// One effective-schedule read of `object`, in slot order. The index
+  /// lets Theorem 1 c4 find "who read object o after slot s" by binary
+  /// search instead of rescanning the effective log (see readers_after).
+  struct ReaderRecord {
+    engine::SeqNo slot = 0;
+    InstanceId reader = engine::kInvalidInstance;
+  };
+
+  /// All effective reads of `object`, sorted by (slot, reader).
+  [[nodiscard]] std::span<const ReaderRecord> readers_of(
+      wfspec::ObjectId object) const;
+
+  /// Appends to `out` every instance that read `object` at a logical
+  /// slot strictly after `slot`. O(log readers + matches).
+  void readers_after(wfspec::ObjectId object, engine::SeqNo slot,
+                     std::vector<InstanceId>& out) const;
+
+  /// Number of log entries covered by the graph (== log size at the last
+  /// rebuild/refresh; instance ids are < this).
+  [[nodiscard]] std::size_t instance_count() const noexcept { return n_; }
+
+  /// Log prefix consumed so far (equal to instance_count()).
+  [[nodiscard]] std::size_t processed_entries() const noexcept { return processed_; }
 
  private:
   template <typename Filter>
   [[nodiscard]] std::vector<InstanceId> closure(const std::vector<InstanceId>& seeds,
                                                 Filter keep) const;
 
+  void add_edge(InstanceId from, InstanceId to, DepKind kind,
+                wfspec::ObjectId object);
+  /// Ingests one effective-schedule entry (reads, writes, control), in
+  /// schedule order. All edges added here target entry.id.
+  void ingest(const engine::TaskInstance& entry);
+  /// Folds the overflow chains into the flat out-CSR arrays.
+  void seal();
+  void reset_state();
+  void ensure_object(wfspec::ObjectId object);
+  [[nodiscard]] const wfspec::WorkflowSpec* spec_for(engine::RunId run) const;
+
+  // --- Graph: edges, in-CSR (implicit), out-CSR + overflow chains. ---
   std::vector<DepEdge> edges_;
-  std::vector<std::vector<std::size_t>> out_;  // per instance: edge indices
-  std::vector<std::vector<std::size_t>> in_;
+  /// In-edges of instance i are edges()[in_begin_[i] .. +in_count_[i]).
+  std::vector<EdgeIndex> in_begin_;
+  std::vector<EdgeIndex> in_count_;
+  /// Sealed out-CSR over edges [0, sealed_edges_): concatenated edge
+  /// indices per instance, offsets in out_start_ (size = sealed nodes+1).
+  std::vector<EdgeIndex> out_start_;
+  std::vector<EdgeIndex> out_csr_;
+  std::size_t sealed_edges_ = 0;
+  /// Overflow chains for edges appended since the last seal: per
+  /// instance the newest such edge (-1 none); per overflow edge (indexed
+  /// by edge - sealed_edges_) the next older one of the same instance.
+  std::vector<std::int64_t> out_head_;
+  std::vector<std::int64_t> out_next_;
+
+  // --- Dense sweep state, keyed by interned ids. ---
+  std::vector<InstanceId> last_writer_by_object_;
+  std::vector<std::vector<InstanceId>> readers_since_write_;
+  std::vector<std::vector<ReaderRecord>> readers_by_object_;
+  /// last_instance_by_run_[run][task]: latest incarnation seen.
+  std::vector<std::vector<InstanceId>> last_instance_by_run_;
+
+  // --- Sync bookkeeping. ---
+  const engine::SystemLog* log_ = nullptr;
+  std::vector<const wfspec::WorkflowSpec*> specs_;
+  std::size_t processed_ = 0;
+  std::size_t recovery_entries_seen_ = 0;
+  std::size_t n_ = 0;  // instance arrays cover ids [0, n_)
+
+  // --- Reusable closure scratch (epoch-stamped visited array). ---
+  mutable std::vector<std::uint32_t> stamp_;
+  mutable std::uint32_t epoch_ = 0;
+  mutable std::vector<InstanceId> worklist_;
 };
 
 /// Graphviz rendering of the dependence graph over the effective
 /// execution: nodes are task instances (malicious ones highlighted),
-/// edges coloured by kind and labelled with the carrying object.
+/// edges coloured by kind and labelled with the carrying object (named
+/// through the catalog of the run that owns the edge's source).
 [[nodiscard]] std::string to_dot(
     const DependencyAnalyzer& deps, const engine::SystemLog& log,
     const std::vector<const wfspec::WorkflowSpec*>& spec_of_run);

@@ -27,6 +27,7 @@ InstanceId SystemLog::append(TaskInstance entry) {
   // stamped (which may be far above the raw commit sequence).
   if (entry.logical_slot == 0) entry.logical_slot = next_slot_;
   next_slot_ = std::max(next_slot_, entry.logical_slot + 1);
+  if (entry.is_recovery()) ++recovery_entries_;
   entries_.push_back(std::move(entry));
   return entries_.back().id;
 }
@@ -37,6 +38,7 @@ void SystemLog::restore_entry(TaskInstance entry) {
     throw std::invalid_argument("SystemLog::restore_entry: out-of-order entry");
   }
   next_slot_ = std::max(next_slot_, entry.logical_slot + 1);
+  if (entry.is_recovery()) ++recovery_entries_;
   entries_.push_back(std::move(entry));
 }
 

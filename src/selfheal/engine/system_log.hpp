@@ -110,6 +110,14 @@ class SystemLog {
   /// The next logical slot a fresh original commit would receive.
   [[nodiscard]] SeqNo next_slot() const noexcept { return next_slot_; }
 
+  /// Number of recovery entries (undo/redo/fresh/repair) committed so
+  /// far. Monotone; the incremental dependence analyzer compares it
+  /// across refreshes to detect that a recovery round rewrote the
+  /// effective schedule (its invalidation rule).
+  [[nodiscard]] std::size_t recovery_entry_count() const noexcept {
+    return recovery_entries_;
+  }
+
   /// Appends a persisted entry verbatim (id, seq, slot already set).
   /// The entry must be the next one in order; throws otherwise.
   void restore_entry(TaskInstance entry);
@@ -117,6 +125,7 @@ class SystemLog {
  private:
   std::vector<TaskInstance> entries_;
   SeqNo next_slot_ = 1;
+  std::size_t recovery_entries_ = 0;
 };
 
 }  // namespace selfheal::engine

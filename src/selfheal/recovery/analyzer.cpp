@@ -1,7 +1,6 @@
 #include "selfheal/recovery/analyzer.hpp"
 
 #include <algorithm>
-#include <set>
 
 #include "selfheal/obs/metrics.hpp"
 #include "selfheal/obs/trace.hpp"
@@ -25,11 +24,32 @@ AnalyzerMetrics& analyzer_metrics() {
   return m;
 }
 
+/// Flat membership mask over instance ids: the analyze() hot loops test
+/// membership once per dependence edge, so this replaces std::set's
+/// O(log n) node-hopping with an O(1) byte load.
+class InstanceBitset {
+ public:
+  explicit InstanceBitset(std::size_t n) : bits_(n, 0) {}
+
+  void insert(InstanceId id) { bits_[static_cast<std::size_t>(id)] = 1; }
+  [[nodiscard]] bool contains(InstanceId id) const {
+    return bits_[static_cast<std::size_t>(id)] != 0;
+  }
+
+ private:
+  std::vector<std::uint8_t> bits_;
+};
+
 }  // namespace
 
 RecoveryAnalyzer::RecoveryAnalyzer(const engine::Engine& engine)
     : engine_(engine), specs_(engine.specs_by_run()),
-      deps_(engine.log(), specs_) {}
+      owned_deps_(std::in_place, engine.log(), specs_),
+      deps_(&*owned_deps_) {}
+
+RecoveryAnalyzer::RecoveryAnalyzer(const engine::Engine& engine,
+                                   const deps::DependencyAnalyzer& deps)
+    : engine_(engine), specs_(engine.specs_by_run()), deps_(&deps) {}
 
 RecoveryPlan RecoveryAnalyzer::analyze(const std::vector<InstanceId>& malicious) const {
   auto& am = analyzer_metrics();
@@ -37,6 +57,7 @@ RecoveryPlan RecoveryAnalyzer::analyze(const std::vector<InstanceId>& malicious)
   const obs::ScopedTimerMs timer(am.analyze_ms);
   work_units_ = 0;
   const auto& log = engine_.log();
+  const std::size_t n = log.size();
   RecoveryPlan plan;
 
   // Keep only reports that still name the live execution of their task:
@@ -52,8 +73,9 @@ RecoveryPlan RecoveryAnalyzer::analyze(const std::vector<InstanceId>& malicious)
                        plan.malicious.end());
 
   // Theorem 1, conditions 1 + 3: the damage closure over flow dependence.
-  plan.damaged = deps_.flow_closure(plan.malicious);
-  const std::set<InstanceId> damaged_set(plan.damaged.begin(), plan.damaged.end());
+  plan.damaged = deps_->flow_closure(plan.malicious);
+  InstanceBitset damaged_set(n);
+  for (const auto id : plan.damaged) damaged_set.insert(id);
   work_units_ += plan.damaged.size();
 
   // Damaged branch instances: their redo may re-choose the path.
@@ -68,12 +90,12 @@ RecoveryPlan RecoveryAnalyzer::analyze(const std::vector<InstanceId>& malicious)
   // candidate IS undone, its flow dependents read removed data, so
   // Theorem 1 c3 applies to the grown B: the candidate set is closed
   // under flow dependence (dependents inherit the guard).
-  std::set<InstanceId> candidate_seen;
+  InstanceBitset candidate_seen(n);
   for (const auto branch : plan.damaged_branches) {
-    std::vector<InstanceId> controlled = deps_.controlled_by(branch);
-    for (const auto instance : deps_.flow_closure(controlled)) {
+    std::vector<InstanceId> controlled = deps_->controlled_by(branch);
+    for (const auto instance : deps_->flow_closure(controlled)) {
       ++work_units_;
-      if (damaged_set.count(instance) || candidate_seen.count(instance)) continue;
+      if (damaged_set.contains(instance) || candidate_seen.contains(instance)) continue;
       candidate_seen.insert(instance);
       plan.candidate_undos.push_back(CandidateUndo{instance, branch, 2});
     }
@@ -83,8 +105,10 @@ RecoveryPlan RecoveryAnalyzer::analyze(const std::vector<InstanceId>& malicious)
   // damaged branch may join the re-executed path; executed instances
   // (potentially) flow-dependent on t_k read data that is then not up to
   // date. Potential flow is judged by read/write-set overlap, extended
-  // with the real flow closure.
-  const auto effective = log.effective();
+  // with the real flow closure. The analyzer's object->readers index
+  // answers "who read an object of W(t_k) after the branch's slot" by
+  // binary search -- no effective-log rescan per (branch, task) pair.
+  std::vector<InstanceId> direct;
   for (const auto branch : plan.damaged_branches) {
     const auto& be = log.entry(branch);
     const auto* spec = specs_.at(static_cast<std::size_t>(be.run));
@@ -98,20 +122,14 @@ RecoveryPlan RecoveryAnalyzer::analyze(const std::vector<InstanceId>& malicious)
       const auto& writes_u = spec->task(task_u).writes;
       if (writes_u.empty()) continue;
 
-      std::vector<InstanceId> direct;
-      for (const auto eid : effective) {
-        const auto& e = log.entry(eid);
-        if (e.logical_slot <= be.logical_slot) continue;
-        ++work_units_;
-        const bool overlaps = std::any_of(
-            e.read_objects.begin(), e.read_objects.end(), [&](wfspec::ObjectId o) {
-              return std::find(writes_u.begin(), writes_u.end(), o) != writes_u.end();
-            });
-        if (overlaps) direct.push_back(e.id);
+      direct.clear();
+      for (const auto object : writes_u) {
+        deps_->readers_after(object, be.logical_slot, direct);
       }
-      for (const auto j : deps_.flow_closure(direct)) {
+      work_units_ += direct.size();
+      for (const auto j : deps_->flow_closure(direct)) {
         ++work_units_;
-        if (damaged_set.count(j) || candidate_seen.count(j)) continue;
+        if (damaged_set.contains(j) || candidate_seen.contains(j)) continue;
         candidate_seen.insert(j);
         plan.candidate_undos.push_back(CandidateUndo{j, branch, 4});
       }
@@ -121,9 +139,9 @@ RecoveryPlan RecoveryAnalyzer::analyze(const std::vector<InstanceId>& malicious)
   // Theorem 2: split damaged instances into definite and candidate redos.
   for (const auto id : plan.damaged) {
     InstanceId guard = engine::kInvalidInstance;
-    for (const auto& e : deps_.edges_to(id)) {
+    for (const auto& e : deps_->in_edges(id)) {
       ++work_units_;
-      if (e.kind == deps::DepKind::kControl && damaged_set.count(e.from)) {
+      if (e.kind == deps::DepKind::kControl && damaged_set.contains(e.from)) {
         guard = e.from;
         break;
       }
@@ -136,32 +154,29 @@ RecoveryPlan RecoveryAnalyzer::analyze(const std::vector<InstanceId>& malicious)
   }
 
   // Theorem 3 constraints (static rules). The full redo set for rule
-  // purposes is definite + candidate.
-  std::set<InstanceId> redo_set(plan.definite_redos.begin(), plan.definite_redos.end());
-  for (const auto& c : plan.candidate_redos) redo_set.insert(c.instance);
+  // purposes is definite + candidate; damaged is sorted, so the union is
+  // the (sorted) damaged vector itself and membership is the bitset.
+  const InstanceBitset& redo_set = damaged_set;
 
   // Rule 3: undo(t) < redo(t).
   for (const auto id : plan.damaged) {
-    if (redo_set.count(id)) {
-      plan.constraints.push_back(
-          OrderConstraint{ActionType::kUndo, id, ActionType::kRedo, id, 3});
-    }
+    plan.constraints.push_back(
+        OrderConstraint{ActionType::kUndo, id, ActionType::kRedo, id, 3});
   }
   // Rule 1: precedence order among redos (chained: t_i < t_j adjacent in
   // commit order implies the full order transitively).
-  std::vector<InstanceId> redos_sorted(redo_set.begin(), redo_set.end());
-  std::sort(redos_sorted.begin(), redos_sorted.end());
+  const std::vector<InstanceId>& redos_sorted = plan.damaged;
   for (std::size_t i = 1; i < redos_sorted.size(); ++i) {
     plan.constraints.push_back(OrderConstraint{ActionType::kRedo, redos_sorted[i - 1],
                                                ActionType::kRedo, redos_sorted[i], 1});
   }
   // Rules 2, 4, 5 from the dependence edges.
-  for (const auto& e : deps_.edges()) {
+  for (const auto& e : deps_->edges()) {
     ++work_units_;
-    const bool from_redo = redo_set.count(e.from) > 0;
-    const bool to_redo = redo_set.count(e.to) > 0;
-    const bool from_undo = damaged_set.count(e.from) > 0;
-    const bool to_undo = damaged_set.count(e.to) > 0;
+    const bool from_redo = redo_set.contains(e.from);
+    const bool to_redo = redo_set.contains(e.to);
+    const bool from_undo = damaged_set.contains(e.from);
+    const bool to_undo = damaged_set.contains(e.to);
     if (from_redo && to_redo) {
       // Rule 2: t_i -> t_j (any dependence) orders their redos.
       plan.constraints.push_back(

@@ -15,6 +15,7 @@
 //   Theorem 3: partial orders among recovery tasks (rules 1-5 static).
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "selfheal/deps/dependency.hpp"
@@ -26,8 +27,15 @@ namespace selfheal::recovery {
 class RecoveryAnalyzer {
  public:
   /// The analyzer reads the engine's log and per-run specs; the
-  /// dependency graph is built over the log's original instances.
+  /// dependency graph is built over the log's effective execution.
   explicit RecoveryAnalyzer(const engine::Engine& engine);
+
+  /// Borrows an externally maintained (incremental) dependence graph
+  /// instead of rebuilding one -- the controller's steady-state path.
+  /// `deps` must be synced to the engine's current log (refresh()ed) and
+  /// must outlive the analyzer.
+  RecoveryAnalyzer(const engine::Engine& engine,
+                   const deps::DependencyAnalyzer& deps);
 
   /// Computes the recovery plan for the reported malicious set B.
   /// Instances in B must be original entries. `work_units` (optional
@@ -38,12 +46,15 @@ class RecoveryAnalyzer {
   /// Dependence checks performed by the last analyze() call.
   [[nodiscard]] std::size_t last_work_units() const noexcept { return work_units_; }
 
-  [[nodiscard]] const deps::DependencyAnalyzer& deps() const noexcept { return deps_; }
+  [[nodiscard]] const deps::DependencyAnalyzer& deps() const noexcept { return *deps_; }
 
  private:
   const engine::Engine& engine_;
   std::vector<const wfspec::WorkflowSpec*> specs_;
-  deps::DependencyAnalyzer deps_;
+  /// Owned graph when default-constructed from the engine; empty when a
+  /// long-lived incremental graph is borrowed.
+  std::optional<deps::DependencyAnalyzer> owned_deps_;
+  const deps::DependencyAnalyzer* deps_ = nullptr;
   mutable std::size_t work_units_ = 0;
 };
 

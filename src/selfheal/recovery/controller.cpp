@@ -69,27 +69,30 @@ bool SelfHealingController::submit_alert(ids::Alert alert) {
   return accepted;
 }
 
-std::set<wfspec::ObjectId> SelfHealingController::dirty_objects() const {
-  std::set<wfspec::ObjectId> dirty;
+std::vector<wfspec::ObjectId> SelfHealingController::dirty_objects() const {
+  std::vector<wfspec::ObjectId> dirty;
   const auto& log = engine_->log();
   auto mark = [&](engine::InstanceId id) {
-    for (const auto object : log.entry(id).written_objects) dirty.insert(object);
+    const auto& written = log.entry(id).written_objects;
+    dirty.insert(dirty.end(), written.begin(), written.end());
   };
   for (const auto& plan : units_) {
     for (const auto id : plan.damaged) mark(id);
     for (const auto& c : plan.candidate_undos) mark(c.instance);
   }
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
   return dirty;
 }
 
 bool SelfHealingController::advance_until_blocked(
-    engine::RunId run, const std::set<wfspec::ObjectId>& dirty) {
+    engine::RunId run, const std::vector<wfspec::ObjectId>& dirty) {
   const auto& spec = engine_->spec_of(run);
   while (const auto next = engine_->peek_next_task(run)) {
     const auto& task = spec.task(*next);
     const auto touches_dirty = [&](const std::vector<wfspec::ObjectId>& objects) {
       return std::any_of(objects.begin(), objects.end(), [&](wfspec::ObjectId o) {
-        return dirty.count(o) > 0;
+        return std::binary_search(dirty.begin(), dirty.end(), o);
       });
     };
     // Theorem 4: block before reading repaired-later data (rule 1's
@@ -161,7 +164,11 @@ std::optional<std::size_t> SelfHealingController::scan_one() {
   }
   const int k = static_cast<int>(units_.size()) + 1;
 
-  RecoveryAnalyzer analyzer(*engine_);
+  // Sync the long-lived dependence graph: O(entries since last scan)
+  // when only normal commits happened, a full rebuild only after a
+  // recovery round rewrote the effective schedule.
+  deps_.refresh(engine_->log(), engine_->specs_by_run());
+  RecoveryAnalyzer analyzer(*engine_, deps_);
   auto plan = analyzer.analyze(alert.malicious);
   const auto work = analyzer.last_work_units();
   units_.push_back(std::move(plan));

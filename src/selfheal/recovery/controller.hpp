@@ -23,9 +23,10 @@
 
 #include <deque>
 #include <map>
-#include <set>
 #include <optional>
+#include <vector>
 
+#include "selfheal/deps/dependency.hpp"
 #include "selfheal/engine/engine.hpp"
 #include "selfheal/ids/ids.hpp"
 #include "selfheal/recovery/analyzer.hpp"
@@ -139,15 +140,21 @@ class SelfHealingController {
   void release_pending();
   /// Objects the queued recovery units will touch (their undo/redo
   /// write sets): the data a normal task must not read or write yet.
-  [[nodiscard]] std::set<wfspec::ObjectId> dirty_objects() const;
-  /// Advances a run until completion or its next task touches `dirty`.
-  /// Returns true if the run completed.
+  /// Sorted and deduplicated.
+  [[nodiscard]] std::vector<wfspec::ObjectId> dirty_objects() const;
+  /// Advances a run until completion or its next task touches `dirty`
+  /// (a sorted object list). Returns true if the run completed.
   bool advance_until_blocked(engine::RunId run,
-                             const std::set<wfspec::ObjectId>& dirty);
+                             const std::vector<wfspec::ObjectId>& dirty);
 
   engine::Engine* engine_;
   ControllerConfig config_;
   ids::AlertQueue alerts_;
+  /// Long-lived dependence graph, refreshed per scan: appends only the
+  /// log entries committed since the previous scan (full rebuild only
+  /// after a recovery round rewrote the effective schedule), so scan
+  /// cost tracks the damage, not the log.
+  deps::DependencyAnalyzer deps_;
   std::deque<RecoveryPlan> units_;
   std::deque<const wfspec::WorkflowSpec*> pending_runs_;
   ControllerStats stats_;

@@ -28,6 +28,8 @@ struct CandidateUndo {
   /// Which Theorem 1 condition raised it: 2 (off the re-executed path)
   /// or 4 (reads from a task that joins the re-executed path).
   int condition = 2;
+
+  bool operator==(const CandidateUndo&) const = default;
 };
 
 /// A damaged task whose redo is conditional (Theorem 2 condition 2):
@@ -35,6 +37,8 @@ struct CandidateUndo {
 struct CandidateRedo {
   InstanceId instance = engine::kInvalidInstance;
   InstanceId guard_branch = engine::kInvalidInstance;
+
+  bool operator==(const CandidateRedo&) const = default;
 };
 
 /// One Theorem 3 partial-order constraint, labelled with its rule number.
@@ -73,6 +77,10 @@ struct RecoveryPlan {
 
   /// Damaged branch instances whose redo may change the execution path.
   std::vector<InstanceId> damaged_branches;
+
+  /// Field-by-field equality: the incremental-vs-rebuild property tests
+  /// assert plans are identical whichever way the graph was maintained.
+  bool operator==(const RecoveryPlan&) const = default;
 
   [[nodiscard]] bool is_damaged(InstanceId id) const;
   [[nodiscard]] bool is_definite_redo(InstanceId id) const;

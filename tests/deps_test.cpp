@@ -198,4 +198,171 @@ TEST(DependencyAnalyzer, DepKindNames) {
   EXPECT_STREQ(deps::to_string(DepKind::kControl), "control");
 }
 
+// --- Closure machinery: epoch stamps, CSR accessors, incremental sync. ---
+
+TEST(DependencyAnalyzer, ClosureEmptySeeds) {
+  const Figure1 fig;
+  const auto eng = fig.run_attacked();
+  const DependencyAnalyzer deps(eng.log(), eng.specs_by_run());
+  EXPECT_TRUE(deps.flow_closure({}).empty());
+  EXPECT_TRUE(deps.flow_control_closure({}).empty());
+}
+
+TEST(DependencyAnalyzer, ClosureEpochStampReuseAcrossCalls) {
+  // The visited array is reused with a bumped epoch per call: repeated
+  // and interleaved closures from different seeds must not leak visits
+  // into each other.
+  const Figure1 fig;
+  const auto eng = fig.run_attacked();
+  const DependencyAnalyzer deps(eng.log(), eng.specs_by_run());
+  const auto seed_a = inst(eng, 0, fig.t1);
+  const auto seed_b = inst(eng, 1, fig.t7);
+  const auto first_a = deps.flow_closure({seed_a});
+  const auto first_b = deps.flow_closure({seed_b});
+  EXPECT_NE(first_a, first_b);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(deps.flow_closure({seed_a}), first_a);
+    EXPECT_EQ(deps.flow_closure({seed_b}), first_b);
+    EXPECT_EQ(deps.flow_control_closure({seed_a}),
+              deps.flow_control_closure({seed_a}));
+  }
+  // Duplicate seeds collapse; the result contains the seeds and is
+  // sorted by instance id.
+  const auto duped = deps.flow_closure({seed_a, seed_a, seed_a});
+  EXPECT_EQ(duped, first_a);
+  EXPECT_TRUE(std::is_sorted(duped.begin(), duped.end()));
+}
+
+TEST(DependencyAnalyzer, SelfReadWriteProducesNoSelfEdge) {
+  // A task reading AND writing the same object must not generate a
+  // self-edge (the anti dependence reader->writer is itself); closures
+  // from it must terminate and contain it.
+  wfspec::ObjectCatalog catalog;
+  wfspec::WorkflowSpec wf("selfrw", catalog);
+  const auto init = wf.add_task("init", {}, {"x"});
+  const auto bump = wf.add_task("bump", {"x"}, {"x"});
+  wf.add_edge(init, bump);
+  wf.validate();
+  engine::Engine eng;
+  const auto run = eng.start_run(wf);
+  eng.run_all();
+  const DependencyAnalyzer deps(eng.log(), eng.specs_by_run());
+  for (const auto& e : deps.edges()) EXPECT_NE(e.from, e.to);
+  const auto ib = inst(eng, run, bump);
+  const auto closure = deps.flow_closure({ib});
+  EXPECT_EQ(closure, std::vector<engine::InstanceId>{ib});
+}
+
+TEST(DependencyAnalyzer, CsrAccessorsMatchCopyingAccessors) {
+  const Figure1 fig;
+  const auto eng = fig.run_attacked();
+  const DependencyAnalyzer deps(eng.log(), eng.specs_by_run());
+  for (engine::InstanceId i = 0;
+       i < static_cast<engine::InstanceId>(deps.instance_count()); ++i) {
+    // In-edges: the span view is a contiguous slice of edges() and must
+    // equal the copying accessor element for element.
+    const auto to_copy = deps.edges_to(i);
+    const auto to_span = deps.in_edges(i);
+    ASSERT_EQ(to_copy.size(), to_span.size());
+    for (std::size_t k = 0; k < to_copy.size(); ++k) {
+      EXPECT_EQ(to_copy[k], to_span[k]);
+      EXPECT_EQ(to_span[k].to, i);
+    }
+    // Out-edges: CSR index span and visitor agree with the copy (the
+    // copy preserves insertion order; the set of edges must match).
+    const auto from_copy = deps.edges_from(i);
+    const auto from_span = deps.out_edge_indices(i);
+    ASSERT_EQ(from_copy.size(), from_span.size());
+    std::vector<deps::DepEdge> via_span;
+    for (const auto idx : from_span) via_span.push_back(deps.edge(idx));
+    std::vector<deps::DepEdge> via_visitor;
+    deps.for_each_out_edge(
+        i, [&](deps::DependencyAnalyzer::EdgeIndex idx) {
+          via_visitor.push_back(deps.edge(idx));
+        });
+    EXPECT_EQ(via_span, from_copy);
+    ASSERT_EQ(via_visitor.size(), from_copy.size());
+    for (const auto& e : via_visitor) EXPECT_EQ(e.from, i);
+  }
+}
+
+TEST(DependencyAnalyzer, IncrementalRefreshMatchesRebuildAfterAppends) {
+  const Figure1 fig;
+  engine::Engine eng;
+  eng.start_run(fig.wf1);
+  eng.run_all();
+  DependencyAnalyzer incremental(eng.log(), eng.specs_by_run());
+
+  // Append-only growth: the refresh must take the incremental path and
+  // land on a graph byte-identical to a scratch rebuild.
+  eng.start_run(fig.wf2);
+  eng.run_all();
+  EXPECT_TRUE(incremental.refresh(eng.log(), eng.specs_by_run()));
+  const DependencyAnalyzer rebuilt(eng.log(), eng.specs_by_run());
+  EXPECT_EQ(incremental.edges(), rebuilt.edges());
+  EXPECT_EQ(incremental.instance_count(), rebuilt.instance_count());
+
+  // No-op refresh (nothing new) also stays incremental.
+  EXPECT_TRUE(incremental.refresh(eng.log(), eng.specs_by_run()));
+  EXPECT_EQ(incremental.edges(), rebuilt.edges());
+}
+
+TEST(DependencyAnalyzer, RefreshAfterRecoveryEntriesRebuilds) {
+  const Figure1 fig;
+  auto eng = fig.run_attacked();
+  DependencyAnalyzer incremental(eng.log(), eng.specs_by_run());
+
+  // A recovery round rewrites the effective schedule: the undo evicts
+  // the malicious entry and the redo takes over its slot. refresh() must
+  // detect it (via the log's recovery entry count) and fully rebuild.
+  const auto bad = Figure1::malicious_instance(eng);
+  eng.apply_undo(bad);
+  const auto rid = eng.apply_redo(bad);
+  EXPECT_FALSE(incremental.refresh(eng.log(), eng.specs_by_run()));
+  const DependencyAnalyzer rebuilt(eng.log(), eng.specs_by_run());
+  EXPECT_EQ(incremental.edges(), rebuilt.edges());
+  const auto i2 = inst(eng, 0, fig.t2);
+  EXPECT_TRUE(incremental.depends(rid, i2, DepKind::kFlow));
+  EXPECT_FALSE(incremental.depends(bad, i2, DepKind::kFlow));
+}
+
+TEST(DependencyAnalyzer, DotLabelsUseOwningRunCatalog) {
+  // Two runs over specs with DISTINCT catalogs: the same interned object
+  // id names different objects in each, so edge labels must resolve
+  // through the catalog of the run owning the edge -- not (as the old
+  // rendering did) spec_of_run.front()'s.
+  wfspec::ObjectCatalog catalog1;
+  wfspec::WorkflowSpec wf1("first", catalog1);
+  const auto a1 = wf1.add_task("a1", {}, {"alpha"});
+  const auto b1 = wf1.add_task("b1", {"alpha"}, {"beta"});
+  wf1.add_edge(a1, b1);
+  wf1.validate();
+
+  wfspec::ObjectCatalog catalog2;
+  wfspec::WorkflowSpec wf2("second", catalog2);
+  const auto a2 = wf2.add_task("a2", {}, {"gamma"});
+  const auto b2 = wf2.add_task("b2", {"gamma"}, {"delta"});
+  wf2.add_edge(a2, b2);
+  wf2.validate();
+
+  engine::Engine eng;
+  eng.start_run(wf1);
+  const auto r2 = eng.start_run(wf2);
+  eng.run_all();
+  const DependencyAnalyzer deps(eng.log(), eng.specs_by_run());
+  const auto dot = deps::to_dot(deps, eng.log(), eng.specs_by_run());
+
+  // Run 2's internal flow edge (a2 -> b2) carries "gamma" in ITS catalog.
+  const auto ia2 = inst(eng, r2, a2);
+  const auto ib2 = inst(eng, r2, b2);
+  ASSERT_TRUE(deps.depends(ia2, ib2, DepKind::kFlow));
+  const std::string edge_prefix =
+      "i" + std::to_string(ia2) + " -> i" + std::to_string(ib2);
+  const auto pos = dot.find(edge_prefix);
+  ASSERT_NE(pos, std::string::npos);
+  const auto line_end = dot.find('\n', pos);
+  const auto line = dot.substr(pos, line_end - pos);
+  EXPECT_NE(line.find("label=\"gamma\""), std::string::npos) << line;
+}
+
 }  // namespace
