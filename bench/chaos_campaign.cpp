@@ -1,0 +1,71 @@
+// Randomized chaos campaigns over the self-healing pipeline.
+//
+//   chaos_campaign --seeds 100                 # seeds 1..100, default mix
+//   chaos_campaign --seed 42                   # reproduce one campaign
+//   chaos_campaign --seeds 100 --json-out r.json --metrics-out m.jsonl
+//
+// Every campaign injects IDS imperfection (false positives / negatives /
+// duplicates), task-level faults (transient retries, permanent aborts),
+// and controller crash/restart cycles, then asserts strict correctness,
+// plan byte-identity across restarts, and store byte-identity against a
+// crash-free twin. Exit code 0 iff every campaign passed; each failing
+// seed is printed with a one-line repro command.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "selfheal/chaos/campaign.hpp"
+#include "selfheal/obs/artifacts.hpp"
+#include "selfheal/util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace selfheal;
+  const util::Flags flags(argc, argv);
+  obs::init_from_flags(flags);
+
+  const auto first_seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto count = static_cast<std::size_t>(
+      flags.get_int("seeds", flags.has("seed") ? 1 : 100));
+
+  chaos::CampaignConfig base = chaos::default_campaign(first_seed);
+  base.n_workflows =
+      static_cast<std::size_t>(flags.get_int("workflows", base.n_workflows));
+  base.n_attacks =
+      static_cast<std::size_t>(flags.get_int("attacks", base.n_attacks));
+  base.ids.false_positive_rate =
+      flags.get_double("fp-rate", base.ids.false_positive_rate);
+  base.ids.coverage = flags.get_double("coverage", base.ids.coverage);
+  base.task_faults.transient_rate =
+      flags.get_double("transient-rate", base.task_faults.transient_rate);
+  base.task_faults.permanent_rate =
+      flags.get_double("permanent-rate", base.task_faults.permanent_rate);
+  base.crash.enabled = flags.get_bool("crashes", base.crash.enabled);
+  base.crash.crash_prob = flags.get_double("crash-prob", base.crash.crash_prob);
+
+  const auto suite = chaos::run_campaigns(first_seed, count, base);
+
+  const std::string repro_prefix = "chaos_campaign";
+  const std::string report = suite.to_json(repro_prefix);
+  const std::string json_out = flags.get("json-out", "");
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    if (!out) {
+      std::cerr << "cannot write " << json_out << "\n";
+      return 2;
+    }
+    out << report;
+  } else {
+    std::cout << report;
+  }
+
+  std::cout << "chaos_campaign: " << suite.passed << "/" << suite.results.size()
+            << " campaigns passed\n";
+  for (const auto& r : suite.results) {
+    if (r.passed()) continue;
+    std::cout << "  FAIL seed " << r.seed << ": " << r.failure
+              << "\n    repro: " << repro_prefix << " --seed " << r.seed << "\n";
+  }
+
+  obs::flush_from_flags(flags);
+  return suite.all_passed() ? 0 : 1;
+}

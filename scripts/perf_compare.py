@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_recovery.json against the committed baseline.
+
+Usage: perf_compare.py BASELINE FRESH [--summary-out PATH]
+
+Prints a markdown comparison table (also appended to --summary-out, which
+CI points at $GITHUB_STEP_SUMMARY) and emits a GitHub `::warning::`
+annotation when the steady-state incremental analyze time -- the
+largest-fleet row's `analyze_incremental_ms` -- regresses more than 3x
+against the baseline. Perf on shared runners is noisy, so this script
+NEVER fails the job on a regression; it only fails on unreadable or
+malformed input (a CI wiring bug, not a perf signal).
+"""
+
+import argparse
+import json
+import sys
+
+WARN_RATIO = 3.0
+COLUMNS = ("analyze_incremental_ms", "analyze_rebuild_ms", "recover_ms")
+
+
+def load_fleet(path):
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    rows = data.get("fleet_sweep")
+    if not isinstance(rows, list) or not rows:
+        raise ValueError(f"{path}: missing or empty fleet_sweep")
+    return {row["workflows"]: row for row in rows}
+
+
+def fmt_ratio(base, fresh):
+    if base <= 0:
+        return "n/a"
+    return f"{fresh / base:.2f}x"
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--summary-out", default=None)
+    args = parser.parse_args()
+
+    try:
+        baseline = load_fleet(args.baseline)
+        fresh = load_fleet(args.fresh)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as err:
+        print(f"perf_compare: bad input: {err}", file=sys.stderr)
+        return 1
+
+    lines = ["### Perf smoke: recovery_scalability fleet sweep", ""]
+    header = "| workflows |"
+    rule = "|---|"
+    for col in COLUMNS:
+        header += f" {col} (base -> fresh) | ratio |"
+        rule += "---|---|"
+    lines += [header, rule]
+
+    shared = sorted(set(baseline) & set(fresh))
+    if not shared:
+        print("perf_compare: no common fleet sizes", file=sys.stderr)
+        return 1
+    for wf in shared:
+        row = f"| {wf} |"
+        for col in COLUMNS:
+            b, f = baseline[wf][col], fresh[wf][col]
+            row += f" {b:.4f} -> {f:.4f} | {fmt_ratio(b, f)} |"
+        lines.append(row)
+
+    # Steady state = the largest fleet both files measured.
+    steady = shared[-1]
+    b = baseline[steady]["analyze_incremental_ms"]
+    f = fresh[steady]["analyze_incremental_ms"]
+    regressed = b > 0 and f > WARN_RATIO * b
+    lines.append("")
+    if regressed:
+        lines.append(
+            f"**WARNING:** steady-state incremental analyze at {steady} "
+            f"workflows regressed {f / b:.2f}x ({b:.4f} ms -> {f:.4f} ms, "
+            f"threshold {WARN_RATIO:.0f}x)."
+        )
+        print(
+            f"::warning title=perf-smoke::steady-state analyze_incremental_ms "
+            f"at {steady} workflows regressed {f / b:.2f}x "
+            f"({b:.4f} ms -> {f:.4f} ms)"
+        )
+    else:
+        lines.append(
+            f"Steady-state incremental analyze at {steady} workflows: "
+            f"{fmt_ratio(b, f)} of baseline (warn threshold {WARN_RATIO:.0f}x)."
+        )
+
+    table = "\n".join(lines)
+    print(table)
+    if args.summary_out:
+        with open(args.summary_out, "a", encoding="utf-8") as fh:
+            fh.write(table + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

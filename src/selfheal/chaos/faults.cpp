@@ -1,0 +1,41 @@
+#include "selfheal/chaos/faults.hpp"
+
+#include "selfheal/util/rng.hpp"
+
+namespace selfheal::chaos {
+
+namespace {
+
+/// Uniform double in [0, 1) from a hash -- the same trick util::Rng uses
+/// for its uniform(), applied to a stateless mix.
+double hash_uniform(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+engine::TaskFault TaskFaultPlan::decide(engine::RunId run, wfspec::TaskId task,
+                                        int incarnation, int attempt) {
+  if (!config_.enabled()) return engine::TaskFault::kNone;
+  const std::uint64_t key =
+      util::mix64(seed_, util::mix64(static_cast<std::uint64_t>(run) << 32 |
+                                         static_cast<std::uint32_t>(task),
+                                     static_cast<std::uint64_t>(incarnation)));
+  const double u = hash_uniform(util::splitmix64(key));
+  if (u < config_.permanent_rate) {
+    if (attempt == 1) ++permanent_injected_;
+    return engine::TaskFault::kPermanent;
+  }
+  if (u < config_.permanent_rate + config_.transient_rate) {
+    if (attempt == 1) ++transient_injected_;
+    if (attempt <= config_.transient_duration) return engine::TaskFault::kTransient;
+  }
+  return engine::TaskFault::kNone;
+}
+
+engine::FaultInjector TaskFaultPlan::injector() {
+  return [this](engine::RunId run, wfspec::TaskId task, int incarnation,
+                int attempt) { return decide(run, task, incarnation, attempt); };
+}
+
+}  // namespace selfheal::chaos

@@ -20,6 +20,11 @@ struct EngineMetrics {
   obs::Counter& undo_actions = obs::metrics().counter("engine.undo_actions");
   obs::Counter& repair_actions = obs::metrics().counter("engine.repair_actions");
   obs::Counter& runs_started = obs::metrics().counter("engine.runs_started");
+  obs::Counter& task_retries = obs::metrics().counter("engine.task_retries");
+  obs::Counter& transient_faults = obs::metrics().counter("engine.transient_faults");
+  obs::Counter& permanent_faults = obs::metrics().counter("engine.permanent_faults");
+  obs::Counter& runs_aborted = obs::metrics().counter("engine.runs_aborted");
+  obs::Gauge& backoff_units = obs::metrics().gauge("engine.backoff_units");
 };
 
 EngineMetrics& engine_metrics() {
@@ -123,10 +128,45 @@ bool Engine::step_run(RunId run) {
   return true;
 }
 
+void Engine::set_fault_injector(FaultInjector injector) {
+  fault_injector_ = std::move(injector);
+}
+
+void Engine::abort_run(RunId run_id) {
+  Run& run = runs_.at(static_cast<std::size_t>(run_id));
+  run.active = false;
+  run.aborted = true;
+}
+
+bool Engine::run_aborted(RunId run) const {
+  return runs_.at(static_cast<std::size_t>(run)).aborted;
+}
+
 void Engine::advance(std::size_t pick) {
   Run& run = runs_[pick];
   const wfspec::TaskId task = run.pc;
   const int incarnation = run.visits[task] + 1;
+
+  if (fault_injector_) {
+    auto& em = engine_metrics();
+    double backoff = config_.retry.backoff_base;
+    for (int attempt = 1;; ++attempt) {
+      const TaskFault fault =
+          fault_injector_(static_cast<RunId>(pick), task, incarnation, attempt);
+      if (fault == TaskFault::kNone) break;
+      if (fault == TaskFault::kTransient) em.transient_faults.inc();
+      if (fault == TaskFault::kPermanent ||
+          attempt > config_.retry.max_retries) {
+        if (fault == TaskFault::kPermanent) em.permanent_faults.inc();
+        em.runs_aborted.inc();
+        abort_run(static_cast<RunId>(pick));
+        return;  // graceful degradation: nothing commits for this run
+      }
+      em.task_retries.inc();
+      em.backoff_units.add(backoff);
+      backoff *= config_.retry.backoff_multiplier;
+    }
+  }
   if (incarnation > config_.max_incarnations) {
     throw std::runtime_error("Engine: task " + run.spec->task(task).name +
                              " exceeded max incarnations (cyclic workflow?)");
@@ -310,6 +350,7 @@ Engine::RunSnapshot Engine::run_snapshot(RunId run_id) const {
   RunSnapshot snapshot;
   snapshot.pc = run.active ? run.pc : wfspec::kInvalidTask;
   snapshot.active = run.active;
+  snapshot.aborted = run.aborted;
   snapshot.visits = run.visits;
   for (const auto& [task, inc] : run.malicious) {
     // Only injections that have not fired yet are still pending; fired

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
@@ -33,12 +34,39 @@ enum class Interleave {
   kExplicit,    // follow set_schedule(), then fall back to round-robin
 };
 
+/// How a fault injector (chaos harness, operational monitor) reports an
+/// execution attempt's fate to the engine.
+enum class TaskFault {
+  kNone,       // the attempt succeeds
+  kTransient,  // the attempt fails; retry per RetryPolicy
+  kPermanent,  // the task cannot succeed; abort the run (degradation)
+};
+
+/// Retry/backoff policy for transient task execution failures. Backoff
+/// is logical (accumulated into the `engine.backoff_units` gauge), not
+/// wall-clock: simulations must stay deterministic and fast.
+struct RetryPolicy {
+  /// Retries after the first failed attempt; when exhausted the fault is
+  /// escalated to permanent (the run aborts).
+  int max_retries = 3;
+  /// Backoff charged for the k-th retry: base * multiplier^(k-1).
+  double backoff_base = 1.0;
+  double backoff_multiplier = 2.0;
+};
+
 struct EngineConfig {
   Interleave interleave = Interleave::kRoundRobin;
   std::uint64_t seed = 0x5e1f4ea1dead5eedULL;  // for kRandom interleaving
   /// Safety bound on loop unrolling: max incarnations of one task per run.
   int max_incarnations = 64;
+  RetryPolicy retry;
 };
+
+/// Consulted before each NORMAL execution attempt (recovery actions are
+/// never failed: they re-commit already-validated work). Arguments:
+/// (run, task, incarnation, attempt) with attempt starting at 1.
+using FaultInjector =
+    std::function<TaskFault(RunId, wfspec::TaskId, int, int)>;
 
 class Engine {
  public:
@@ -52,6 +80,20 @@ class Engine {
   /// execution: its outputs (and branch choice) will be corrupted.
   /// Must be called before the task executes.
   void inject_malicious(RunId run, wfspec::TaskId task, int incarnation = 1);
+
+  /// Installs (or clears, with nullptr) the task fault injector. Each
+  /// normal execution attempt consults it; kTransient faults retry per
+  /// EngineConfig::retry, kPermanent faults (and exhausted retries)
+  /// abort the run -- graceful degradation: the failed branch of work
+  /// stops, every other run keeps executing.
+  void set_fault_injector(FaultInjector injector);
+
+  /// Aborts a run: it stops executing (nothing further commits) but its
+  /// committed history stays in the log and store. Recovery replays an
+  /// aborted run only over its recorded prefix; the correctness oracle
+  /// truncates its benign replay at the same point.
+  void abort_run(RunId run);
+  [[nodiscard]] bool run_aborted(RunId run) const;
 
   /// For Interleave::kExplicit: the run to advance at each commit slot.
   /// Slots whose run is complete are skipped; once the schedule is
@@ -139,6 +181,7 @@ class Engine {
   struct RunSnapshot {
     wfspec::TaskId pc = wfspec::kInvalidTask;
     bool active = false;
+    bool aborted = false;
     std::map<wfspec::TaskId, int> visits;
     std::vector<std::pair<wfspec::TaskId, int>> pending_malicious;
   };
@@ -156,6 +199,7 @@ class Engine {
     const wfspec::WorkflowSpec* spec = nullptr;
     wfspec::TaskId pc = wfspec::kInvalidTask;  // next task to execute
     bool active = false;
+    bool aborted = false;  // permanently failed (graceful degradation)
     std::map<wfspec::TaskId, int> visits;      // incarnation counters
     std::set<std::pair<wfspec::TaskId, int>> malicious;
   };
@@ -177,6 +221,7 @@ class Engine {
 
   EngineConfig config_;
   util::Rng rng_;
+  FaultInjector fault_injector_;
   std::vector<Run> runs_;
   SystemLog log_;
   VersionedStore store_;

@@ -12,7 +12,8 @@ namespace selfheal::engine {
 namespace {
 
 constexpr const char* kMagic = "selfheal-session";
-constexpr int kVersion = 1;
+// Version 2 added the per-run aborted flag (graceful degradation).
+constexpr int kVersion = 2;
 
 int kind_code(ActionKind kind) { return static_cast<int>(kind); }
 
@@ -74,7 +75,8 @@ void save_session(const Engine& engine, std::ostream& out) {
     const auto run = static_cast<RunId>(r);
     const auto snapshot = engine.run_snapshot(run);
     out << "run " << spec_index.at(specs_by_run[r]) << " "
-        << (snapshot.active ? 1 : 0) << " " << snapshot.pc << " visits";
+        << (snapshot.active ? 1 : 0) << " " << (snapshot.aborted ? 1 : 0) << " "
+        << snapshot.pc << " visits";
     for (const auto& [task, count] : snapshot.visits) {
       out << " " << task << ":" << count;
     }
@@ -206,9 +208,11 @@ Session load_session(std::istream& in) {
       if (keyword2 != "run") fail(line_no, "expected run");
       std::size_t spec_idx;
       int active;
+      int aborted;
       PendingRun p;
-      run_line >> spec_idx >> active >> p.snapshot.pc;
+      run_line >> spec_idx >> active >> aborted >> p.snapshot.pc;
       p.snapshot.active = active != 0;
+      p.snapshot.aborted = aborted != 0;
       std::string visits_kw;
       run_line >> visits_kw;
       if (visits_kw != "visits") fail(line_no, "expected visits");
@@ -291,6 +295,7 @@ Session load_session(std::istream& in) {
     const auto& snapshot = pending[r].snapshot;
     session.engine->resume_run(run, snapshot.active ? snapshot.pc : wfspec::kInvalidTask,
                                snapshot.visits);
+    if (snapshot.aborted) session.engine->abort_run(run);
     for (const auto& [task, inc] : snapshot.pending_malicious) {
       session.engine->inject_malicious(run, task, inc);
     }

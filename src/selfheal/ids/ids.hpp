@@ -34,6 +34,35 @@ struct IdsConfig {
   /// missed (< 0 disables the sweep, modelling permanently missed
   /// attacks -- useful for experiments on IDS dependence).
   double admin_sweep_time = 1e6;
+
+  // --- Imperfection model (chaos harness; all default off) ---
+
+  /// Probability that a BENIGN original instance is wrongly reported as
+  /// malicious. False positives cost recovery work (undo + benign redo)
+  /// but never correctness: re-executing a benign task over the clean
+  /// timeline reproduces its values.
+  double false_positive_rate = 0.0;
+  /// Probability that a detection is reported a second time later
+  /// (duplicate alert). Recovery of an already-repaired instance is
+  /// idempotent, so duplicates are safe but must be tolerated.
+  double duplicate_alert_prob = 0.0;
+  /// A missed detection (coverage miss -- a false negative) is corrected
+  /// by a late re-detection with this probability, after an additional
+  /// exponential delay of mean `late_correction_mean_delay`; otherwise
+  /// it waits for the admin sweep as before.
+  double late_correction_prob = 0.0;
+  double late_correction_mean_delay = 50.0;
+};
+
+/// Ground-truth classification of what detect() produced -- the chaos
+/// harness's per-fault-class accounting.
+struct DetectionStats {
+  std::size_t true_detections = 0;
+  std::size_t false_positives = 0;   // benign instances reported
+  std::size_t duplicates = 0;        // repeat reports of a detection
+  std::size_t missed = 0;            // initial false negatives
+  std::size_t late_corrections = 0;  // false negatives corrected late
+  std::size_t swept = 0;             // left for the admin sweep
 };
 
 class IdsSimulator {
@@ -42,9 +71,13 @@ class IdsSimulator {
 
   /// Scans the log for malicious original instances and produces alerts
   /// sorted by report time. Each detection is its own alert; the admin
-  /// sweep (if any) is one final batched alert.
+  /// sweep (if any) is one final batched alert. With the imperfection
+  /// model enabled the stream may also contain false positives,
+  /// duplicates, and late corrections; `stats` (optional) receives the
+  /// ground-truth classification of every report.
   [[nodiscard]] std::vector<Alert> detect(const engine::SystemLog& log,
-                                          util::Rng& rng) const;
+                                          util::Rng& rng,
+                                          DetectionStats* stats = nullptr) const;
 
   [[nodiscard]] const IdsConfig& config() const noexcept { return config_; }
 

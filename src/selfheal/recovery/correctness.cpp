@@ -30,9 +30,20 @@ engine::Engine CorrectnessChecker::build_oracle() const {
     overflow_base = std::max(overflow_base, e.logical_slot + 1);
   }
   for (auto& cursor : cursors) cursor.overflow_base = overflow_base;
+  // Aborted runs (graceful degradation) have no continuation: the oracle
+  // replays exactly their recorded prefix, mirroring the scheduler's
+  // halted-run truncation.
+  std::vector<bool> aborted(nruns, false);
+  for (std::size_t r = 0; r < nruns; ++r) {
+    aborted[r] = engine_->run_aborted(static_cast<engine::RunId>(r));
+  }
   while (true) {
     const auto pick = pick_next_run(cursors);
     if (pick == static_cast<std::size_t>(-1)) break;
+    if (aborted[pick] && cursors[pick].in_overflow()) {
+      cursors[pick].done = true;  // degraded run: recorded prefix only
+      continue;
+    }
     if (!oracle.step_run(static_cast<engine::RunId>(pick))) {
       cursors[pick].done = true;  // the benign path ended for this run
       continue;

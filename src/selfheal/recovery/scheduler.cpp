@@ -185,8 +185,14 @@ RecoveryOutcome RecoveryScheduler::execute(const RecoveryPlan& plan) {
     const wfspec::WorkflowSpec* spec = nullptr;
     TaskId cursor = wfspec::kInvalidTask;
     bool was_active = false;  // run still in flight when recovery began
+    bool aborted = false;     // permanently failed (graceful degradation)
     bool diverged = false;
     std::map<TaskId, int> visits;
+
+    /// Halted runs (in flight or aborted) replay only their recorded
+    /// history: an in-flight run's continuation stays with the normal
+    /// engine, and an aborted run has no continuation at all.
+    [[nodiscard]] bool halted() const { return was_active || aborted; }
   };
   // Overflow slots (paths that grew longer) sort above every recorded
   // slot of this round's schedule.
@@ -203,11 +209,14 @@ RecoveryOutcome RecoveryScheduler::execute(const RecoveryPlan& plan) {
     s.spec = specs[r];
     s.cursor = s.spec->start();
     s.was_active = engine.run_active(s.run);
+    s.aborted = engine.run_aborted(s.run);
     cursors[r].overflow_base = overflow_base;
     for (const auto id : run_slots[s.run]) {
       cursors[r].slots.push_back(log.entry(id).logical_slot);
     }
-    if (cursors[r].slots.empty() && !s.was_active) cursors[r].done = true;
+    if (cursors[r].slots.empty() && (!s.was_active || s.aborted)) {
+      cursors[r].done = true;
+    }
     states.push_back(std::move(s));
   }
 
@@ -221,9 +230,10 @@ RecoveryOutcome RecoveryScheduler::execute(const RecoveryPlan& plan) {
     ReplayCursor& cursor = cursors[pick];
     const auto& slots = run_slots[s.run];
 
-    // A run that was still in flight replays only its recorded history;
-    // its continuation stays with the normal engine (resynced below).
-    if (s.was_active && cursor.in_overflow()) {
+    // A halted run (in flight or aborted) replays only its recorded
+    // history; an in-flight run's continuation stays with the normal
+    // engine (resynced below), an aborted run stays truncated.
+    if (s.halted() && cursor.in_overflow()) {
       cursor.done = true;
       continue;
     }
@@ -335,12 +345,13 @@ RecoveryOutcome RecoveryScheduler::execute(const RecoveryPlan& plan) {
       cursor.done = true;  // end node
       s.cursor = wfspec::kInvalidTask;
     }
-    if (s.was_active && cursor.in_overflow()) cursor.done = true;
+    if (s.halted() && cursor.in_overflow()) cursor.done = true;
   }
 
-  // Resync in-flight runs whose path changed.
+  // Resync in-flight runs whose path changed. Aborted runs are not
+  // resumed: their degradation decision outlives recovery.
   for (auto& s : states) {
-    if (s.was_active && s.diverged) {
+    if (s.was_active && !s.aborted && s.diverged) {
       engine.resume_run(s.run, s.cursor, s.visits);
     }
   }
