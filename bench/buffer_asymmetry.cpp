@@ -8,9 +8,14 @@
 // buffer) grid and reports steady-state loss probability plus the mean
 // time to the first lost alert under a burst.
 #include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "selfheal/ctmc/recovery_stg.hpp"
+#include "selfheal/util/flags.hpp"
 #include "selfheal/util/table.hpp"
+#include "selfheal/util/thread_pool.hpp"
 
 using namespace selfheal;
 
@@ -31,7 +36,10 @@ ctmc::RecoveryStg make(double lambda, std::size_t alert_buffer,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const auto threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+
   std::printf("Asymmetric buffers: steady-state loss probability at lambda=1\n");
   std::printf("(rows: alert buffer, columns: recovery buffer; mu1=15, xi1=20, "
               "mu_k=mu1/k, xi_k=xi1/k)\n\n");
@@ -41,14 +49,19 @@ int main() {
   for (const auto r : sizes) headers.push_back(std::to_string(r));
   util::Table grid(headers);
   grid.set_precision(3);
-  for (const auto a : sizes) {
-    std::vector<std::string> row{std::to_string(a)};
-    for (const auto r : sizes) {
-      const auto stg = make(1.0, a, r);
-      const auto pi = stg.steady_state();
+  // Solve the full (alert x recovery) grid in parallel, render in order.
+  std::vector<double> loss(sizes.size() * sizes.size());
+  util::parallel_for_index(threads, loss.size(), [&](std::size_t idx) {
+    const auto stg =
+        make(1.0, sizes[idx / sizes.size()], sizes[idx % sizes.size()]);
+    const auto pi = stg.steady_state();
+    loss[idx] = pi ? stg.loss_probability(*pi) : 1.0;
+  });
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    std::vector<std::string> row{std::to_string(sizes[i])};
+    for (std::size_t j = 0; j < sizes.size(); ++j) {
       char cell[32];
-      std::snprintf(cell, sizeof cell, "%.2e",
-                    pi ? stg.loss_probability(*pi) : 1.0);
+      std::snprintf(cell, sizeof cell, "%.2e", loss[i * sizes.size() + j]);
       row.push_back(cell);
     }
     grid.add_row(row);
@@ -59,11 +72,17 @@ int main() {
               "at lambda=3\n\n");
   util::Table burst({"alert buffer", "recovery buffer", "mean time to first loss"});
   burst.set_precision(4);
-  for (const auto a : sizes) {
-    for (const auto r : {std::size_t{4}, std::size_t{12}}) {
-      const auto stg = make(3.0, a, r);
-      if (const auto t = stg.mean_time_to_loss()) {
-        burst.add(a, r, *t);
+  const std::vector<std::size_t> burst_recovery{4, 12};
+  std::vector<std::optional<double>> mttl(sizes.size() * burst_recovery.size());
+  util::parallel_for_index(threads, mttl.size(), [&](std::size_t idx) {
+    const auto stg = make(3.0, sizes[idx / burst_recovery.size()],
+                          burst_recovery[idx % burst_recovery.size()]);
+    mttl[idx] = stg.mean_time_to_loss();
+  });
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    for (std::size_t j = 0; j < burst_recovery.size(); ++j) {
+      if (const auto t = mttl[i * burst_recovery.size() + j]) {
+        burst.add(sizes[i], burst_recovery[j], *t);
       }
     }
   }

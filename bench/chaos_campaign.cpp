@@ -2,7 +2,11 @@
 //
 //   chaos_campaign --seeds 100                 # seeds 1..100, default mix
 //   chaos_campaign --seed 42                   # reproduce one campaign
+//   chaos_campaign --seeds 100 --threads 8     # fan seeds over a pool
 //   chaos_campaign --seeds 100 --json-out r.json --metrics-out m.jsonl
+//
+// The report is byte-identical for every --threads value (campaigns are
+// independent and land in per-seed slots).
 //
 // Every campaign injects IDS imperfection (false positives / negatives /
 // duplicates), task-level faults (transient retries, permanent aborts),
@@ -42,7 +46,8 @@ int main(int argc, char** argv) {
   base.crash.enabled = flags.get_bool("crashes", base.crash.enabled);
   base.crash.crash_prob = flags.get_double("crash-prob", base.crash.crash_prob);
 
-  const auto suite = chaos::run_campaigns(first_seed, count, base);
+  const auto threads = static_cast<std::size_t>(flags.get_int("threads", 1));
+  const auto suite = chaos::run_campaigns(first_seed, count, base, threads);
 
   const std::string repro_prefix = "chaos_campaign";
   const std::string report = suite.to_json(repro_prefix);

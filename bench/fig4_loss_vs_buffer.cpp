@@ -17,6 +17,7 @@
 #include "selfheal/ctmc/recovery_stg.hpp"
 #include "selfheal/util/flags.hpp"
 #include "selfheal/util/table.hpp"
+#include "selfheal/util/thread_pool.hpp"
 
 namespace {
 
@@ -53,6 +54,7 @@ int main(int argc, char** argv) {
   const double xi1 = flags.get_double("xi1", 20.0);
   const auto buf_lo = static_cast<std::size_t>(flags.get_int("from", 2));
   const auto buf_hi = static_cast<std::size_t>(flags.get_int("to", 30));
+  const auto threads = static_cast<std::size_t>(flags.get_int("threads", 0));
 
   const std::vector<Regime> regimes{
       {"4(a)", "log", "log", "slow degradation: bigger buffers keep helping"},
@@ -64,7 +66,19 @@ int main(int argc, char** argv) {
   std::printf("Figure 4: loss probability vs buffer size (lambda=%g, mu1=%g, xi1=%g)\n",
               lambda, mu1, xi1);
 
-  for (const auto& regime : regimes) {
+  // Every (regime, buffer) chain is independent: solve them all in
+  // parallel into indexed slots, then render sequentially so the output
+  // is byte-identical for any --threads value.
+  const std::size_t n_buffers = buf_hi - buf_lo + 1;
+  std::vector<double> losses(regimes.size() * n_buffers);
+  util::parallel_for_index(threads, losses.size(), [&](std::size_t idx) {
+    const auto& regime = regimes[idx / n_buffers];
+    const std::size_t buffer = buf_lo + idx % n_buffers;
+    losses[idx] = loss_for(buffer, regime.f_name, regime.g_name, lambda, mu1, xi1);
+  });
+
+  for (std::size_t r = 0; r < regimes.size(); ++r) {
+    const auto& regime = regimes[r];
     std::printf("%s", util::banner(std::string("Figure ") + regime.figure + ": mu_k=" +
                                    ctmc::degradation_label(regime.f_name) +
                                    ", xi_k=" +
@@ -73,8 +87,8 @@ int main(int argc, char** argv) {
     std::printf("# %s\n", regime.note);
     util::Table t({"buffer", "loss_probability"});
     t.set_precision(6);
-    for (std::size_t buffer = buf_lo; buffer <= buf_hi; ++buffer) {
-      t.add(buffer, loss_for(buffer, regime.f_name, regime.g_name, lambda, mu1, xi1));
+    for (std::size_t i = 0; i < n_buffers; ++i) {
+      t.add(buf_lo + i, losses[r * n_buffers + i]);
     }
     std::printf("%s", t.render().c_str());
     if (flags.has("csv")) {
@@ -82,19 +96,16 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Shape summary used by EXPERIMENTS.md.
+  // Shape summary used by EXPERIMENTS.md (reuses the solved grid).
   std::printf("%s", util::banner("shape checks").c_str());
-  auto series = [&](const Regime& regime) {
-    std::vector<double> losses;
-    for (std::size_t buffer = buf_lo; buffer <= buf_hi; ++buffer) {
-      losses.push_back(loss_for(buffer, regime.f_name, regime.g_name, lambda, mu1, xi1));
-    }
-    return losses;
+  auto series = [&](std::size_t r) {
+    return std::vector<double>(losses.begin() + static_cast<std::ptrdiff_t>(r * n_buffers),
+                               losses.begin() + static_cast<std::ptrdiff_t>((r + 1) * n_buffers));
   };
-  const auto a = series(regimes[0]);
-  const auto b = series(regimes[1]);
-  const auto c = series(regimes[2]);
-  const auto d = series(regimes[3]);
+  const auto a = series(0);
+  const auto b = series(1);
+  const auto c = series(2);
+  const auto d = series(3);
 
   const bool a_monotone = a.front() > a.back();
   std::size_t b_min_at = 0;

@@ -16,6 +16,7 @@
 #include "selfheal/ctmc/recovery_stg.hpp"
 #include "selfheal/util/flags.hpp"
 #include "selfheal/util/table.hpp"
+#include "selfheal/util/thread_pool.hpp"
 
 namespace {
 
@@ -73,20 +74,26 @@ SteadyPoint solve(double lambda, double mu1, double xi1, std::size_t buffer) {
 
 void run_case(const char* title, const char* swept, const std::vector<double>& grid,
               double lambda, double mu1, double xi1, std::size_t buffer,
-              const std::string& csv_path) {
+              const std::string& csv_path, std::size_t threads) {
   std::printf("%s", util::banner(title).c_str());
   util::Table dist({swept, "P(NORMAL)", "P(SCAN)", "P(RECOVERY)", "loss_prob"});
   util::Table expect({swept, "E[alerts]", "E[recovery_units]", "loss_prob"});
   dist.set_precision(4);
   expect.set_precision(4);
-  for (double v : grid) {
+  // Solve all sweep points in parallel (independent chains, indexed
+  // slots), render sequentially: output is identical for any --threads.
+  std::vector<SteadyPoint> points(grid.size());
+  util::parallel_for_index(threads, grid.size(), [&](std::size_t i) {
     double l = lambda, m = mu1, x = xi1;
-    if (swept[0] == 'l') l = v;
-    if (swept[0] == 'm') m = v;
-    if (swept[0] == 'x') x = v;
-    const auto p = solve(l, m, x, buffer);
-    dist.add(v, p.normal, p.scan, p.recovery, p.loss);
-    expect.add(v, p.e_alerts, p.e_units, p.loss);
+    if (swept[0] == 'l') l = grid[i];
+    if (swept[0] == 'm') m = grid[i];
+    if (swept[0] == 'x') x = grid[i];
+    points[i] = solve(l, m, x, buffer);
+  });
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto& p = points[i];
+    dist.add(grid[i], p.normal, p.scan, p.recovery, p.loss);
+    expect.add(grid[i], p.e_alerts, p.e_units, p.loss);
   }
   std::printf("# probability distribution (paper subfigure a/c/e)\n%s\n",
               dist.render().c_str());
@@ -109,17 +116,18 @@ std::vector<double> grid(double lo, double hi, double step) {
 int main(int argc, char** argv) {
   const util::Flags flags(argc, argv);
   const auto buffer = static_cast<std::size_t>(flags.get_int("buffer", 15));
+  const auto threads = static_cast<std::size_t>(flags.get_int("threads", 0));
 
   std::printf("Figure 5: steady-state behaviour (mu_k=mu1/k, xi_k=xi1/k, buffer=%zu)\n",
               buffer);
 
   const auto csv_path = flags.get("csv", "");
   run_case("Figure 5(a,b) / Case 2: sweep lambda, mu1=15, xi1=20", "lambda",
-           grid(0.0, 4.0, 0.25), /*lambda=*/0, 15.0, 20.0, buffer, csv_path);
+           grid(0.0, 4.0, 0.25), /*lambda=*/0, 15.0, 20.0, buffer, csv_path, threads);
   run_case("Figure 5(c,d) / Case 3: sweep mu1, lambda=1, xi1=20", "mu1",
-           grid(0.0, 20.0, 1.0), 1.0, /*mu1=*/0, 20.0, buffer, csv_path);
+           grid(0.0, 20.0, 1.0), 1.0, /*mu1=*/0, 20.0, buffer, csv_path, threads);
   run_case("Figure 5(e,f) / Case 4: sweep xi1, lambda=1, mu1=15", "xi1",
-           grid(0.0, 20.0, 1.0), 1.0, 15.0, /*xi1=*/0, buffer, csv_path);
+           grid(0.0, 20.0, 1.0), 1.0, 15.0, /*xi1=*/0, buffer, csv_path, threads);
 
   // Shape checks mirrored into EXPERIMENTS.md.
   std::printf("%s", util::banner("shape checks").c_str());

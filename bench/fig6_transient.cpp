@@ -10,19 +10,31 @@
 //     probability settles in 0.9-1.0 and ~80% of cumulative time is
 //     spent at the right edge of the STG.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "selfheal/ctmc/recovery_stg.hpp"
 #include "selfheal/util/flags.hpp"
 #include "selfheal/util/table.hpp"
+#include "selfheal/util/thread_pool.hpp"
 
 namespace {
 
 using namespace selfheal;
 
-void run_case(const char* title, double lambda, double mu1, double xi1,
-              double horizon, const std::vector<double>& times,
-              std::size_t buffer, const std::string& csv_path) {
+/// One case's rendered stdout plus the tables for CSV export; cases are
+/// computed in parallel and emitted in order, keeping output identical
+/// for any --threads value.
+struct CaseOutput {
+  std::string text;
+  util::Table dist{{"t"}};
+  util::Table cumulative{{"t"}};
+  std::string title;
+};
+
+CaseOutput run_case(const char* title, double lambda, double mu1, double xi1,
+                    double horizon, const std::vector<double>& times,
+                    std::size_t buffer) {
   ctmc::RecoveryStgConfig cfg;
   cfg.lambda = lambda;
   cfg.mu1 = mu1;
@@ -33,7 +45,9 @@ void run_case(const char* title, double lambda, double mu1, double xi1,
   cfg.recovery_buffer = buffer;
   const ctmc::RecoveryStg stg(cfg);
 
-  std::printf("%s", util::banner(title).c_str());
+  CaseOutput out;
+  out.title = title;
+  out.text = util::banner(title);
 
   util::Table dist({"t", "P(NORMAL)", "P(SCAN)", "P(RECOVERY)", "loss_prob",
                     "E[alerts]", "E[units]"});
@@ -45,8 +59,8 @@ void run_case(const char* title, double lambda, double mu1, double xi1,
              stg.recovery_probability(pi), stg.loss_probability(pi),
              stg.expected_alerts(pi), stg.expected_units(pi));
   }
-  std::printf("# transient probability distribution (paper subfigure a/c)\n%s\n",
-              dist.render().c_str());
+  out.text += "# transient probability distribution (paper subfigure a/c)\n" +
+              dist.render() + "\n";
 
   // Cumulative time spent per state class (paper subfigure b/d).
   util::Table cumulative({"t", "time_NORMAL", "time_SCAN", "time_RECOVERY",
@@ -69,26 +83,30 @@ void run_case(const char* title, double lambda, double mu1, double xi1,
     }
     cumulative.add(t, t_normal, t_scan, t_recovery, t_edge, t > 0 ? t_edge / t : 0.0);
   }
-  std::printf("# cumulative time per state class (paper subfigure b/d)\n%s",
-              cumulative.render().c_str());
-  if (!csv_path.empty()) {
-    dist.append_csv(csv_path, std::string(title) + " transient");
-    cumulative.append_csv(csv_path, std::string(title) + " cumulative");
-  }
+  out.text += "# cumulative time per state class (paper subfigure b/d)\n" +
+              cumulative.render();
 
   // Shape summary, plus the exact first-passage answer to the paper's
   // "how long the system can resist" question.
+  char line[160];
   const auto steady = stg.steady_state();
   if (steady) {
     const auto& last = series.back();
-    std::printf("\nconverged to steady state by t=%g: P_N %.4f vs steady %.4f\n",
-                horizon, stg.normal_probability(last),
-                stg.normal_probability(*steady));
+    std::snprintf(line, sizeof line,
+                  "\nconverged to steady state by t=%g: P_N %.4f vs steady %.4f\n",
+                  horizon, stg.normal_probability(last),
+                  stg.normal_probability(*steady));
+    out.text += line;
   }
   if (const auto mttl = stg.mean_time_to_loss()) {
-    std::printf("mean time from NORMAL to the first lost alert: %.4g time units\n",
-                *mttl);
+    std::snprintf(line, sizeof line,
+                  "mean time from NORMAL to the first lost alert: %.4g time units\n",
+                  *mttl);
+    out.text += line;
   }
+  out.dist = std::move(dist);
+  out.cumulative = std::move(cumulative);
+  return out;
 }
 
 std::vector<double> grid(double lo, double hi, double step) {
@@ -102,14 +120,33 @@ std::vector<double> grid(double lo, double hi, double step) {
 int main(int argc, char** argv) {
   const util::Flags flags(argc, argv);
   const auto buffer = static_cast<std::size_t>(flags.get_int("buffer", 15));
+  const auto threads = static_cast<std::size_t>(flags.get_int("threads", 0));
 
   std::printf("Figure 6: transient behaviour starting from NORMAL (buffer=%zu)\n",
               buffer);
 
+  // The two cases are independent chains; run them in parallel and emit
+  // in order (stdout and CSV appends stay sequential and deterministic).
+  std::vector<CaseOutput> cases(2);
+  util::parallel_for_index(threads, cases.size(), [&](std::size_t i) {
+    if (i == 0) {
+      cases[0] = run_case(
+          "Figure 6(a,b) / Case 5: good system (lambda=1, mu1=15, xi1=20), 4 time units",
+          1.0, 15.0, 20.0, 4.0, grid(0.25, 4.0, 0.25), buffer);
+    } else {
+      cases[1] = run_case(
+          "Figure 6(c,d) / Case 6: poor system (lambda=1, mu1=2, xi1=3), 100 time units",
+          1.0, 2.0, 3.0, 100.0, grid(5.0, 100.0, 5.0), buffer);
+    }
+  });
+
   const auto csv_path = flags.get("csv", "");
-  run_case("Figure 6(a,b) / Case 5: good system (lambda=1, mu1=15, xi1=20), 4 time units",
-           1.0, 15.0, 20.0, 4.0, grid(0.25, 4.0, 0.25), buffer, csv_path);
-  run_case("Figure 6(c,d) / Case 6: poor system (lambda=1, mu1=2, xi1=3), 100 time units",
-           1.0, 2.0, 3.0, 100.0, grid(5.0, 100.0, 5.0), buffer, csv_path);
+  for (const auto& c : cases) {
+    std::printf("%s", c.text.c_str());
+    if (!csv_path.empty()) {
+      c.dist.append_csv(csv_path, c.title + " transient");
+      c.cumulative.append_csv(csv_path, c.title + " cumulative");
+    }
+  }
   return 0;
 }

@@ -1,15 +1,22 @@
 #!/usr/bin/env python3
-"""Compare a fresh BENCH_recovery.json against the committed baseline.
+"""Compare fresh bench JSON artifacts against their committed baselines.
 
-Usage: perf_compare.py BASELINE FRESH [--summary-out PATH]
+Usage: perf_compare.py BASELINE FRESH [BASELINE FRESH ...] [--summary-out PATH]
 
-Prints a markdown comparison table (also appended to --summary-out, which
-CI points at $GITHUB_STEP_SUMMARY) and emits a GitHub `::warning::`
-annotation when the steady-state incremental analyze time -- the
-largest-fleet row's `analyze_incremental_ms` -- regresses more than 3x
-against the baseline. Perf on shared runners is noisy, so this script
-NEVER fails the job on a regression; it only fails on unreadable or
-malformed input (a CI wiring bug, not a perf signal).
+Each BASELINE/FRESH pair must be the same bench; the bench is recognised
+from the JSON's "bench" field and dispatched to a per-bench metric map:
+
+  * recovery_scalability -- fleet_sweep rows keyed by `workflows`;
+    watches the steady-state `analyze_incremental_ms` (largest fleet).
+  * ctmc_scalability     -- solver_sweep rows keyed by `states`;
+    watches `sparse_steady_ms` at the largest state count.
+
+Prints one markdown comparison table per pair (also appended to
+--summary-out, which CI points at $GITHUB_STEP_SUMMARY) and emits a
+GitHub `::warning::` annotation when a watched metric regresses more
+than 3x against its baseline. Perf on shared runners is noisy, so this
+script NEVER fails the job on a regression; it only fails on unreadable
+or malformed input (a CI wiring bug, not a perf signal).
 """
 
 import argparse
@@ -17,82 +24,129 @@ import json
 import sys
 
 WARN_RATIO = 3.0
-COLUMNS = ("analyze_incremental_ms", "analyze_rebuild_ms", "recover_ms")
+
+# bench name -> (rows key, row key field, comparison columns, watched metric)
+BENCHES = {
+    "recovery_scalability": {
+        "rows": "fleet_sweep",
+        "key": "workflows",
+        "columns": ("analyze_incremental_ms", "analyze_rebuild_ms", "recover_ms"),
+        "watch": "analyze_incremental_ms",
+    },
+    "ctmc_scalability": {
+        "rows": "solver_sweep",
+        "key": "states",
+        "columns": ("sparse_steady_ms", "dense_gth_ms", "dense_lu_ms"),
+        "watch": "sparse_steady_ms",
+    },
+}
 
 
-def load_fleet(path):
+def load_rows(path):
     with open(path, encoding="utf-8") as fh:
         data = json.load(fh)
-    rows = data.get("fleet_sweep")
+    bench = data.get("bench")
+    spec = BENCHES.get(bench)
+    if spec is None:
+        raise ValueError(f"{path}: unknown bench {bench!r}")
+    rows = data.get(spec["rows"])
     if not isinstance(rows, list) or not rows:
-        raise ValueError(f"{path}: missing or empty fleet_sweep")
-    return {row["workflows"]: row for row in rows}
+        raise ValueError(f"{path}: missing or empty {spec['rows']}")
+    return bench, spec, {row[spec["key"]]: row for row in rows}
 
 
 def fmt_ratio(base, fresh):
-    if base <= 0:
+    # Skipped measurements (e.g. dense columns above the cap) are <= 0.
+    if base <= 0 or fresh <= 0:
         return "n/a"
     return f"{fresh / base:.2f}x"
 
 
-def main():
-    parser = argparse.ArgumentParser()
-    parser.add_argument("baseline")
-    parser.add_argument("fresh")
-    parser.add_argument("--summary-out", default=None)
-    args = parser.parse_args()
+def compare_pair(baseline_path, fresh_path):
+    """Returns (markdown lines, warning line or None)."""
+    base_bench, spec, baseline = load_rows(baseline_path)
+    fresh_bench, _, fresh = load_rows(fresh_path)
+    if base_bench != fresh_bench:
+        raise ValueError(
+            f"bench mismatch: {baseline_path} is {base_bench}, "
+            f"{fresh_path} is {fresh_bench}"
+        )
 
-    try:
-        baseline = load_fleet(args.baseline)
-        fresh = load_fleet(args.fresh)
-    except (OSError, ValueError, KeyError, json.JSONDecodeError) as err:
-        print(f"perf_compare: bad input: {err}", file=sys.stderr)
-        return 1
-
-    lines = ["### Perf smoke: recovery_scalability fleet sweep", ""]
-    header = "| workflows |"
+    key = spec["key"]
+    lines = [f"### Perf smoke: {base_bench} ({spec['rows']})", ""]
+    header = f"| {key} |"
     rule = "|---|"
-    for col in COLUMNS:
+    for col in spec["columns"]:
         header += f" {col} (base -> fresh) | ratio |"
         rule += "---|---|"
     lines += [header, rule]
 
     shared = sorted(set(baseline) & set(fresh))
     if not shared:
-        print("perf_compare: no common fleet sizes", file=sys.stderr)
-        return 1
-    for wf in shared:
-        row = f"| {wf} |"
-        for col in COLUMNS:
-            b, f = baseline[wf][col], fresh[wf][col]
+        raise ValueError(f"{base_bench}: no common {key} values")
+    for k in shared:
+        row = f"| {k} |"
+        for col in spec["columns"]:
+            b, f = baseline[k].get(col, -1), fresh[k].get(col, -1)
             row += f" {b:.4f} -> {f:.4f} | {fmt_ratio(b, f)} |"
         lines.append(row)
 
-    # Steady state = the largest fleet both files measured.
+    # Watched metric = the largest row both files measured.
     steady = shared[-1]
-    b = baseline[steady]["analyze_incremental_ms"]
-    f = fresh[steady]["analyze_incremental_ms"]
+    watch = spec["watch"]
+    b = baseline[steady][watch]
+    f = fresh[steady][watch]
     regressed = b > 0 and f > WARN_RATIO * b
     lines.append("")
+    warning = None
     if regressed:
         lines.append(
-            f"**WARNING:** steady-state incremental analyze at {steady} "
-            f"workflows regressed {f / b:.2f}x ({b:.4f} ms -> {f:.4f} ms, "
+            f"**WARNING:** {watch} at {key}={steady} regressed "
+            f"{f / b:.2f}x ({b:.4f} ms -> {f:.4f} ms, "
             f"threshold {WARN_RATIO:.0f}x)."
         )
-        print(
-            f"::warning title=perf-smoke::steady-state analyze_incremental_ms "
-            f"at {steady} workflows regressed {f / b:.2f}x "
+        warning = (
+            f"::warning title=perf-smoke::{base_bench} {watch} at "
+            f"{key}={steady} regressed {f / b:.2f}x "
             f"({b:.4f} ms -> {f:.4f} ms)"
         )
     else:
         lines.append(
-            f"Steady-state incremental analyze at {steady} workflows: "
-            f"{fmt_ratio(b, f)} of baseline (warn threshold {WARN_RATIO:.0f}x)."
+            f"{watch} at {key}={steady}: {fmt_ratio(b, f)} of baseline "
+            f"(warn threshold {WARN_RATIO:.0f}x)."
         )
+    return lines, warning
 
-    table = "\n".join(lines)
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("pairs", nargs="+", metavar="BASELINE FRESH",
+                        help="one or more BASELINE FRESH file pairs")
+    parser.add_argument("--summary-out", default=None)
+    args = parser.parse_args()
+
+    if len(args.pairs) % 2 != 0:
+        print("perf_compare: expected BASELINE FRESH pairs", file=sys.stderr)
+        return 1
+
+    all_lines = []
+    warnings = []
+    try:
+        for i in range(0, len(args.pairs), 2):
+            lines, warning = compare_pair(args.pairs[i], args.pairs[i + 1])
+            if all_lines:
+                all_lines.append("")
+            all_lines += lines
+            if warning:
+                warnings.append(warning)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as err:
+        print(f"perf_compare: bad input: {err}", file=sys.stderr)
+        return 1
+
+    table = "\n".join(all_lines)
     print(table)
+    for warning in warnings:
+        print(warning)
     if args.summary_out:
         with open(args.summary_out, "a", encoding="utf-8") as fh:
             fh.write(table + "\n")

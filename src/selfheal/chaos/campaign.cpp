@@ -10,6 +10,7 @@
 #include "selfheal/recovery/analyzer.hpp"
 #include "selfheal/recovery/correctness.hpp"
 #include "selfheal/util/rng.hpp"
+#include "selfheal/util/thread_pool.hpp"
 
 namespace selfheal::chaos {
 
@@ -352,14 +353,19 @@ std::string CampaignResult::to_json() const {
 }
 
 CampaignSuite run_campaigns(std::uint64_t first_seed, std::size_t count,
-                            const CampaignConfig& base) {
+                            const CampaignConfig& base, std::size_t threads) {
   CampaignSuite suite;
-  suite.results.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
+  // Per-seed result slots written by index: the aggregate pass/fail
+  // tally and the JSON report are assembled afterwards in seed order,
+  // so the suite is byte-identical for any thread count.
+  suite.results.resize(count);
+  util::parallel_for_index(threads, count, [&](std::size_t i) {
     CampaignConfig config = base;
     config.seed = first_seed + i;
-    suite.results.push_back(run_campaign(config));
-    if (suite.results.back().passed()) {
+    suite.results[i] = run_campaign(config);
+  });
+  for (const auto& result : suite.results) {
+    if (result.passed()) {
       ++suite.passed;
     } else {
       ++suite.failed;

@@ -114,9 +114,13 @@ struct CampaignSuite {
 };
 
 /// Runs `count` campaigns with seeds first_seed, first_seed+1, ...; the
-/// base config supplies everything but the seed.
+/// base config supplies everything but the seed. Campaigns are
+/// independent, so `threads > 1` fans them out over a thread pool;
+/// results land in per-seed slots, keeping the suite (and its JSON
+/// report) byte-identical for every thread count. 0 = hardware threads.
 [[nodiscard]] CampaignSuite run_campaigns(std::uint64_t first_seed,
                                           std::size_t count,
-                                          const CampaignConfig& base);
+                                          const CampaignConfig& base,
+                                          std::size_t threads = 1);
 
 }  // namespace selfheal::chaos

@@ -15,11 +15,19 @@ namespace selfheal::ctmc {
 namespace {
 
 struct CtmcMetrics {
-  /// GTH censoring steps + uniformization terms: the "how much numerical
-  /// work did this evaluation do" cost driver for the figure benches.
+  /// GTH censoring steps + uniformization terms + iterative sweeps: the
+  /// "how much numerical work did this evaluation do" cost driver for
+  /// the figure benches.
   obs::Counter& solver_iterations = obs::metrics().counter("ctmc.solver_iterations");
   obs::Counter& steady_solves = obs::metrics().counter("ctmc.steady_solves");
   obs::Counter& transient_steps = obs::metrics().counter("ctmc.transient_steps");
+  /// Sparse generator-vector products (y = v Q without forming Q).
+  obs::Counter& spmv_count = obs::metrics().counter("ctmc.spmv_count");
+  /// Dense generator materialisations -- should stay 0 outside witness
+  /// cross-checks and tests.
+  obs::Counter& dense_fallbacks = obs::metrics().counter("ctmc.dense_fallbacks");
+  /// Off-diagonal nonzeros of the most recently sealed chain.
+  obs::Gauge& nnz = obs::metrics().gauge("ctmc.nnz");
 };
 
 CtmcMetrics& ctmc_metrics() {
@@ -29,23 +37,86 @@ CtmcMetrics& ctmc_metrics() {
 
 }  // namespace
 
-Ctmc::Ctmc(std::size_t state_count) : q_(state_count, state_count), names_(state_count) {
+Ctmc::Ctmc(std::size_t state_count)
+    : rows_(state_count), diag_(state_count, 0.0), names_(state_count) {
   for (std::size_t s = 0; s < state_count; ++s) names_[s] = "s" + std::to_string(s);
 }
 
+Ctmc Ctmc::from_triplets(std::size_t state_count, const std::vector<Triplet>& triplets) {
+  std::vector<Triplet> filtered;
+  filtered.reserve(triplets.size());
+  for (const auto& t : triplets) {
+    if (t.row >= state_count || t.col >= state_count) {
+      throw std::out_of_range("Ctmc::from_triplets: state out of range");
+    }
+    if (t.row == t.col) throw std::invalid_argument("Ctmc::from_triplets: from == to");
+    if (t.value < 0) throw std::invalid_argument("Ctmc::from_triplets: negative rate");
+    if (t.value > 0) filtered.push_back(t);
+  }
+  auto sealed = CsrMatrix::from_triplets(state_count, state_count, filtered);
+
+  Ctmc chain(state_count);
+  for (std::size_t r = 0; r < state_count; ++r) {
+    const auto row = sealed.row(r);
+    chain.rows_[r].assign(row.begin(), row.end());
+    double exit = 0.0;
+    for (const auto& e : row) exit += e.value;
+    chain.diag_[r] = -exit;
+  }
+  chain.nnz_ = sealed.nnz();
+  chain.csr_ = std::move(sealed);  // already in sync with rows_
+  return chain;
+}
+
+void Ctmc::invalidate() const {
+  csr_.reset();
+  csr_transposed_.reset();
+  dense_.reset();
+}
+
 void Ctmc::set_rate(std::size_t from, std::size_t to, double rate) {
+  if (from >= state_count() || to >= state_count()) {
+    throw std::out_of_range("Ctmc::set_rate: state out of range");
+  }
   if (from == to) throw std::invalid_argument("Ctmc::set_rate: from == to");
   if (rate < 0) throw std::invalid_argument("Ctmc::set_rate: negative rate");
-  const double old = q_.at(from, to);
-  q_(from, to) = rate;
-  q_(from, from) -= (rate - old);
+
+  auto& row = rows_[from];
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), to,
+      [](const CsrMatrix::Entry& e, std::size_t col) { return e.col < col; });
+  const bool present = it != row.end() && it->col == to;
+  const double old = present ? it->value : 0.0;
+  if (rate == 0.0) {
+    if (present) {
+      row.erase(it);
+      --nnz_;
+    }
+  } else if (present) {
+    it->value = rate;
+  } else {
+    row.insert(it, CsrMatrix::Entry{static_cast<std::uint32_t>(to), rate});
+    ++nnz_;
+  }
+  diag_[from] -= (rate - old);
+  invalidate();
 }
 
 void Ctmc::add_rate(std::size_t from, std::size_t to, double rate) {
-  set_rate(from, to, q_.at(from, to) + rate);
+  set_rate(from, to, this->rate(from, to) + rate);
 }
 
-double Ctmc::rate(std::size_t from, std::size_t to) const { return q_.at(from, to); }
+double Ctmc::rate(std::size_t from, std::size_t to) const {
+  if (from >= state_count() || to >= state_count()) {
+    throw std::out_of_range("Ctmc::rate: state out of range");
+  }
+  if (from == to) return diag_[from];
+  const auto& row = rows_[from];
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), to,
+      [](const CsrMatrix::Entry& e, std::size_t col) { return e.col < col; });
+  return it != row.end() && it->col == to ? it->value : 0.0;
+}
 
 void Ctmc::set_state_name(std::size_t s, std::string name) {
   names_.at(s) = std::move(name);
@@ -53,23 +124,59 @@ void Ctmc::set_state_name(std::size_t s, std::string name) {
 
 const std::string& Ctmc::state_name(std::size_t s) const { return names_.at(s); }
 
+std::span<const CsrMatrix::Entry> Ctmc::transitions_from(std::size_t s) const {
+  const auto& row = rows_.at(s);
+  return {row.data(), row.size()};
+}
+
+const CsrMatrix& Ctmc::sparse() const {
+  if (!csr_) {
+    std::vector<Triplet> triplets;
+    triplets.reserve(nnz_);
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      for (const auto& e : rows_[r]) {
+        triplets.push_back(Triplet{static_cast<std::uint32_t>(r), e.col, e.value});
+      }
+    }
+    csr_ = CsrMatrix::from_triplets(state_count(), state_count(), triplets);
+    ctmc_metrics().nnz.set(static_cast<double>(nnz_));
+  }
+  return *csr_;
+}
+
+const CsrMatrix& Ctmc::sparse_transposed() const {
+  if (!csr_transposed_) csr_transposed_ = sparse().transposed();
+  return *csr_transposed_;
+}
+
+const Matrix& Ctmc::generator() const {
+  if (!dense_) {
+    ctmc_metrics().dense_fallbacks.inc();
+    Matrix q(state_count(), state_count());
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      q(r, r) = diag_[r];
+      for (const auto& e : rows_[r]) q(r, e.col) = e.value;
+    }
+    dense_ = std::move(q);
+  }
+  return *dense_;
+}
+
 double Ctmc::max_exit_rate() const noexcept {
   double best = 0.0;
-  for (std::size_t s = 0; s < state_count(); ++s) {
-    best = std::max(best, -q_(s, s));
-  }
+  for (double d : diag_) best = std::max(best, -d);
   return best;
 }
 
 std::optional<std::string> Ctmc::validate(double tol) const {
   for (std::size_t r = 0; r < state_count(); ++r) {
-    double row_sum = 0.0;
-    for (std::size_t c = 0; c < state_count(); ++c) {
-      if (r != c && q_(r, c) < 0) {
+    double row_sum = diag_[r];
+    for (const auto& e : rows_[r]) {
+      if (e.value < 0) {
         return "negative off-diagonal rate at (" + std::to_string(r) + "," +
-               std::to_string(c) + ")";
+               std::to_string(e.col) + ")";
       }
-      row_sum += q_(r, c);
+      row_sum += e.value;
     }
     if (std::fabs(row_sum) > tol) {
       return "row " + std::to_string(r) + " sums to " + std::to_string(row_sum);
@@ -81,25 +188,25 @@ std::optional<std::string> Ctmc::validate(double tol) const {
 bool Ctmc::irreducible() const {
   const std::size_t n = state_count();
   if (n == 0) return false;
-  auto reach = [&](bool forward) {
+  const auto reach = [n](auto&& neighbours) {
     std::vector<bool> seen(n, false);
     std::deque<std::size_t> queue{0};
     seen[0] = true;
     while (!queue.empty()) {
       const std::size_t s = queue.front();
       queue.pop_front();
-      for (std::size_t t = 0; t < n; ++t) {
-        const double r = forward ? q_(s, t) : q_(t, s);
-        if (s != t && r > 0 && !seen[t]) {
-          seen[t] = true;
-          queue.push_back(t);
+      for (const auto& e : neighbours(s)) {
+        if (e.value > 0 && !seen[e.col]) {
+          seen[e.col] = true;
+          queue.push_back(e.col);
         }
       }
     }
     return seen;
   };
-  const auto fwd = reach(true);
-  const auto bwd = reach(false);
+  const auto fwd = reach([&](std::size_t s) { return transitions_from(s); });
+  const auto& back = sparse_transposed();
+  const auto bwd = reach([&](std::size_t s) { return back.row(s); });
   for (std::size_t s = 0; s < n; ++s) {
     if (!fwd[s] || !bwd[s]) return false;
   }
@@ -115,9 +222,23 @@ std::optional<Vector> Ctmc::steady_state() const {
   ctmc_metrics().steady_solves.inc();
   ctmc_metrics().solver_iterations.inc(n - 1);  // GTH censoring steps
 
+  auto result = steady_state_banded_gth(sparse());
+  if (!result.ok()) return std::nullopt;
+  return std::move(result.pi);
+}
+
+std::optional<Vector> Ctmc::steady_state_dense() const {
+  const std::size_t n = state_count();
+  if (n == 0) return std::nullopt;
+  if (n == 1) return Vector{1.0};
+  if (!irreducible()) return std::nullopt;
+  obs::Span span("ctmc.steady_state_dense", "ctmc");
+  ctmc_metrics().steady_solves.inc();
+  ctmc_metrics().solver_iterations.inc(n - 1);  // GTH censoring steps
+
   // GTH (Grassmann-Taksar-Heyman): censor states from the top down using
   // only additions/divisions of non-negative quantities, then back-fill.
-  Matrix a = q_;  // we only use off-diagonal entries of a
+  Matrix a = generator();  // we only use off-diagonal entries of a
   for (std::size_t k = n - 1; k >= 1; --k) {
     double s = 0.0;
     for (std::size_t j = 0; j < k; ++j) s += a(k, j);
@@ -144,23 +265,57 @@ std::optional<Vector> Ctmc::steady_state() const {
   return pi;
 }
 
-std::optional<Vector> Ctmc::steady_state_lu() const {
+SteadyStateResult Ctmc::steady_state_iterative(const IterativeOptions& options) const {
+  obs::Span span("ctmc.steady_state_iterative", "ctmc");
+  ctmc_metrics().steady_solves.inc();
+  auto result = ctmc::steady_state_iterative(sparse_transposed(), diag_, options);
+  ctmc_metrics().solver_iterations.inc(result.iterations);
+  return result;
+}
+
+SteadyStateResult Ctmc::steady_state_lu() const {
   const std::size_t n = state_count();
-  if (n == 0) return std::nullopt;
+  SteadyStateResult result;
+  if (n == 0) {
+    result.error = SteadyStateError::kEmptyChain;
+    return result;
+  }
   // Solve Q^T pi^T = 0 with the last equation replaced by sum(pi) = 1.
-  Matrix a = q_.transposed();
+  Matrix a = generator().transposed();
   Vector b(n, 0.0);
   for (std::size_t c = 0; c < n; ++c) a(n - 1, c) = 1.0;
   b[n - 1] = 1.0;
   auto solution = linalg::solve_linear(a, b);
-  if (!solution) return std::nullopt;
+  if (!solution) {
+    result.error = SteadyStateError::kSingularPivot;
+    return result;
+  }
   for (double x : *solution) {
-    if (x < -1e-8) return std::nullopt;  // numerically negative probability
+    if (x < -1e-8) {  // numerically negative probability
+      result.error = SteadyStateError::kNegativeMass;
+      return result;
+    }
   }
   for (double& x : *solution) x = std::max(x, 0.0);
   const double total = linalg::l1_norm(*solution);
   linalg::scale(*solution, 1.0 / total);
-  return solution;
+  result.residual = linalg::max_abs(apply_generator(*solution));
+  result.pi = std::move(solution);
+  return result;
+}
+
+Vector Ctmc::apply_generator(const Vector& v) const {
+  const std::size_t n = state_count();
+  if (v.size() != n) throw std::invalid_argument("apply_generator: size mismatch");
+  ctmc_metrics().spmv_count.inc();
+  Vector y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double vi = v[i];
+    if (vi == 0.0) continue;
+    for (const auto& e : rows_[i]) y[e.col] += vi * e.value;
+    y[i] += vi * diag_[i];
+  }
+  return y;
 }
 
 Vector Ctmc::transient_step(const Vector& pi0, double dt, double eps) const {
@@ -194,8 +349,8 @@ Vector Ctmc::transient_step(const Vector& pi0, double dt, double eps) const {
   const std::size_t k_max = static_cast<std::size_t>(lt + 16.0 * std::sqrt(lt + 1.0) + 64.0);
   std::size_t terms = 0;
   for (std::size_t k = 1; k <= k_max && 1.0 - cumulative > eps; ++k) {
-    // v <- v P = v + (v Q)/Lambda
-    Vector vq = q_.left_multiply(v);
+    // v <- v P = v + (v Q)/Lambda, assembled sparsely.
+    Vector vq = apply_generator(v);
     linalg::axpy(1.0 / lambda, vq, v);
     weight *= lt / static_cast<double>(k);
     cumulative += weight;
@@ -251,7 +406,7 @@ Ctmc::TransientAccumulation Ctmc::accumulate_rk4(const Vector& pi0, double t,
   const auto steps = static_cast<std::size_t>(std::ceil(t / dt));
   const double h = t / static_cast<double>(steps);
 
-  auto deriv = [&](const Vector& pi) { return q_.left_multiply(pi); };
+  auto deriv = [&](const Vector& pi) { return apply_generator(pi); };
 
   for (std::size_t i = 0; i < steps; ++i) {
     const Vector k1 = deriv(acc.pi);
@@ -275,6 +430,21 @@ Ctmc::TransientAccumulation Ctmc::accumulate_rk4(const Vector& pi0, double t,
   return acc;
 }
 
+namespace {
+
+/// Backward reachability + the row-leak test shared by the sparse and
+/// dense hitting-time paths: which states can reach the target, and of
+/// those non-targets, which rows never leak into unreachable states.
+struct HittingSupport {
+  std::vector<bool> can_reach;
+  std::vector<std::size_t> states;  // rows of the restricted system
+  std::vector<std::size_t> index;   // state -> position in `states`
+};
+
+constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+
+}  // namespace
+
 std::optional<Vector> Ctmc::expected_hitting_time(
     const std::vector<bool>& target) const {
   const std::size_t n = state_count();
@@ -282,20 +452,22 @@ std::optional<Vector> Ctmc::expected_hitting_time(
     throw std::invalid_argument("expected_hitting_time: size mismatch");
   }
 
-  // States that can reach the target at all (backward reachability over
-  // positive-rate edges); the rest get +infinity.
-  std::vector<bool> can_reach = target;
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (std::size_t s = 0; s < n; ++s) {
-      if (can_reach[s]) continue;
-      for (std::size_t t = 0; t < n; ++t) {
-        if (s != t && q_(s, t) > 0 && can_reach[t]) {
-          can_reach[s] = true;
-          changed = true;
-          break;
-        }
+  // States that can reach the target at all: BFS from the target set
+  // along in-edges (the transposed CSR); the rest get +infinity.
+  HittingSupport support;
+  support.can_reach.assign(target.begin(), target.end());
+  const auto& back = sparse_transposed();
+  std::deque<std::size_t> queue;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (target[s]) queue.push_back(s);
+  }
+  while (!queue.empty()) {
+    const std::size_t t = queue.front();
+    queue.pop_front();
+    for (const auto& e : back.row(t)) {
+      if (e.value > 0 && !support.can_reach[e.col]) {
+        support.can_reach[e.col] = true;
+        queue.push_back(e.col);
       }
     }
   }
@@ -306,13 +478,69 @@ std::optional<Vector> Ctmc::expected_hitting_time(
   // returns, which would make the expectation infinite -- we therefore
   // require, row by row, that no transition leads to an unreachable
   // state; otherwise that row's time is infinite too).
-  std::vector<std::size_t> index(n, static_cast<std::size_t>(-1));
+  support.index.assign(n, kNoIndex);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (target[s] || !support.can_reach[s]) continue;
+    bool leaks = false;
+    for (const auto& e : transitions_from(s)) {
+      if (e.value > 0 && !support.can_reach[e.col]) leaks = true;
+    }
+    if (!leaks) {
+      support.index[s] = support.states.size();
+      support.states.push_back(s);
+    }
+  }
+
+  const std::size_t m = support.states.size();
+  std::optional<Vector> h;
+  if (m > 0) {
+    Vector b(m, -1.0);
+    h = solve_restricted_generator(sparse(), diag_, support.states, b);
+    if (!h) return std::nullopt;
+  }
+
+  Vector result(n, std::numeric_limits<double>::infinity());
+  for (std::size_t s = 0; s < n; ++s) {
+    if (target[s]) {
+      result[s] = 0.0;
+    } else if (support.index[s] != kNoIndex) {
+      result[s] = (*h)[support.index[s]];
+    }
+  }
+  return result;
+}
+
+std::optional<Vector> Ctmc::expected_hitting_time_dense(
+    const std::vector<bool>& target) const {
+  const std::size_t n = state_count();
+  if (target.size() != n) {
+    throw std::invalid_argument("expected_hitting_time_dense: size mismatch");
+  }
+  const Matrix& q = generator();
+
+  std::vector<bool> can_reach = target;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (can_reach[s]) continue;
+      for (std::size_t t = 0; t < n; ++t) {
+        if (s != t && q(s, t) > 0 && can_reach[t]) {
+          can_reach[s] = true;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<std::size_t> index(n, kNoIndex);
   std::vector<std::size_t> states;
   for (std::size_t s = 0; s < n; ++s) {
     if (!target[s] && can_reach[s]) {
       bool leaks = false;
       for (std::size_t t = 0; t < n; ++t) {
-        if (s != t && q_(s, t) > 0 && !can_reach[t]) leaks = true;
+        if (s != t && q(s, t) > 0 && !can_reach[t]) leaks = true;
       }
       if (!leaks) {
         index[s] = states.size();
@@ -326,7 +554,7 @@ std::optional<Vector> Ctmc::expected_hitting_time(
   Vector b(m, -1.0);
   for (std::size_t r = 0; r < m; ++r) {
     for (std::size_t c = 0; c < m; ++c) {
-      a(r, c) = q_(states[r], states[c]);
+      a(r, c) = q(states[r], states[c]);
     }
   }
   std::optional<Vector> h;
@@ -339,7 +567,7 @@ std::optional<Vector> Ctmc::expected_hitting_time(
   for (std::size_t s = 0; s < n; ++s) {
     if (target[s]) {
       result[s] = 0.0;
-    } else if (index[s] != static_cast<std::size_t>(-1)) {
+    } else if (index[s] != kNoIndex) {
       result[s] = (*h)[index[s]];
     }
   }

@@ -2,32 +2,54 @@
 //
 // A CTMC is characterised by its generator matrix Q = (q_ij) where q_ij
 // (i != j) is the transition rate i -> j and q_ii = -sum_{j!=i} q_ij
-// (paper, Section IV.E). This module provides:
-//   * steady state  pi Q = 0, sum pi = 1   (Equation 1) via the
-//     subtraction-free GTH algorithm, with an LU-based independent check;
-//   * transient solution d/dt pi(t) = pi(t) Q  (Equation 2) via
-//     uniformization with adaptive truncation;
+// (paper, Section IV.E). Storage is sparse-first: the chain keeps only
+// the off-diagonal adjacency (the Fig. 3 / MMPP graphs have ~4 edges per
+// state) plus the diagonal, and seals CSR views on demand. This module
+// provides:
+//   * steady state  pi Q = 0, sum pi = 1   (Equation 1) via banded GTH
+//     over an RCM ordering (exact, O(n * bandwidth^2)); the dense GTH
+//     and LU paths survive as cross-check witnesses, and a capped
+//     Gauss-Seidel / power iteration is available for well-conditioned
+//     chains;
+//   * transient solution d/dt pi(t) = pi(t) Q  (Equation 2) via sparse
+//     uniformization with adaptive truncation -- the dense generator is
+//     never formed;
 //   * cumulative time per state d/dt l(t) = l(t) Q + pi(0)  (Equation 3),
 //     i.e. l(t) = integral of pi(s) ds, via fine-step quadrature over the
 //     uniformized trajectory (an RK4 integrator is provided as a witness).
+//
+// Thread-safety: the CSR/dense views are lazily sealed mutable caches,
+// so even const accessors are not safe to race. Parallel sweeps build
+// one chain per task (see util::parallel_for_index) instead of sharing.
 #pragma once
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "selfheal/ctmc/sparse_solvers.hpp"
 #include "selfheal/linalg/matrix.hpp"
+#include "selfheal/linalg/sparse.hpp"
 
 namespace selfheal::ctmc {
 
+using linalg::CsrMatrix;
 using linalg::Matrix;
+using linalg::Triplet;
 using linalg::Vector;
 
 /// A CTMC over states 0..n-1 with named states and generator Q.
 class Ctmc {
  public:
   explicit Ctmc(std::size_t state_count);
+
+  /// Bulk construction from off-diagonal (from, to, rate) triplets;
+  /// duplicate edges are summed, zero rates dropped. Rates must be
+  /// >= 0 and from != to. The diagonal is derived from row sums.
+  [[nodiscard]] static Ctmc from_triplets(std::size_t state_count,
+                                          const std::vector<Triplet>& triplets);
 
   /// Sets the off-diagonal rate from -> to; the diagonal is maintained
   /// automatically. Rates must be >= 0; from != to.
@@ -39,7 +61,18 @@ class Ctmc {
   [[nodiscard]] const std::string& state_name(std::size_t s) const;
 
   [[nodiscard]] std::size_t state_count() const noexcept { return names_.size(); }
-  [[nodiscard]] const Matrix& generator() const noexcept { return q_; }
+  [[nodiscard]] std::size_t nnz() const noexcept { return nnz_; }
+
+  /// Outgoing off-diagonal transitions of a state, sorted by target.
+  [[nodiscard]] std::span<const CsrMatrix::Entry> transitions_from(std::size_t s) const;
+
+  /// Sealed off-diagonal CSR view (rates, row = source state).
+  [[nodiscard]] const CsrMatrix& sparse() const;
+
+  /// Dense generator witness. Materialised lazily (and counted by the
+  /// ctmc.dense_fallbacks metric): the solvers never call this; only
+  /// tests and explicit *_dense cross-checks should.
+  [[nodiscard]] const Matrix& generator() const;
 
   /// Largest exit rate max_i |q_ii| (the uniformization constant floor).
   [[nodiscard]] double max_exit_rate() const noexcept;
@@ -49,18 +82,32 @@ class Ctmc {
   [[nodiscard]] std::optional<std::string> validate(double tol = 1e-9) const;
 
   /// True iff the chain is irreducible (single strongly-communicating
-  /// class under edges with positive rate).
+  /// class under edges with positive rate). O(nnz) BFS both ways.
   [[nodiscard]] bool irreducible() const;
 
-  /// Stationary distribution via GTH. Requires irreducibility; returns
-  /// nullopt otherwise (or if numerical pivots vanish).
+  /// Stationary distribution via sparse banded GTH (exact; requires
+  /// irreducibility; nullopt otherwise).
   [[nodiscard]] std::optional<Vector> steady_state() const;
 
-  /// Independent steady-state computation: solves the linear system
-  /// pi Q = 0 with the normalisation row, via LU. For cross-checks.
-  [[nodiscard]] std::optional<Vector> steady_state_lu() const;
+  /// Dense GTH witness -- the pre-sparse reference implementation, kept
+  /// for parity tests. O(n^3); avoid beyond a few thousand states.
+  [[nodiscard]] std::optional<Vector> steady_state_dense() const;
 
-  /// pi(t0 + dt) from pi(t0) via uniformization; truncation error <= eps.
+  /// Iterative steady state (Gauss-Seidel / power iteration on the
+  /// uniformized DTMC) with epsilon-convergence and an iteration cap.
+  /// Fast on well-conditioned chains; reports kNotConverged on the
+  /// metastable ones instead of stalling (see DESIGN.md).
+  [[nodiscard]] SteadyStateResult steady_state_iterative(
+      const IterativeOptions& options = {}) const;
+
+  /// Independent steady-state computation: solves the linear system
+  /// pi Q = 0 with the normalisation row, via dense LU. For
+  /// cross-checks; the error field says why a solve failed
+  /// (singular pivot vs negative mass), not just that it did.
+  [[nodiscard]] SteadyStateResult steady_state_lu() const;
+
+  /// pi(t0 + dt) from pi(t0) via sparse uniformization; truncation
+  /// error <= eps.
   [[nodiscard]] Vector transient_step(const Vector& pi0, double dt,
                                       double eps = 1e-12) const;
 
@@ -88,15 +135,34 @@ class Ctmc {
   /// Expected first-passage (hitting) time from each state into the
   /// target set: h_i = 0 for targets, and -sum_j q_ij h_j = 1 elsewhere.
   /// Entries are +infinity for states that cannot reach the target;
-  /// nullopt if the restricted system is singular. Answers questions
-  /// like "starting from NORMAL, how long until the first alert is
-  /// lost?" exactly, where transient probing only brackets them.
+  /// nullopt if the restricted system is singular. Solved sparsely
+  /// (RCM + banded LU). Answers questions like "starting from NORMAL,
+  /// how long until the first alert is lost?" exactly, where transient
+  /// probing only brackets them.
   [[nodiscard]] std::optional<Vector> expected_hitting_time(
       const std::vector<bool>& target) const;
 
+  /// Dense-LU witness for expected_hitting_time (parity tests only).
+  [[nodiscard]] std::optional<Vector> expected_hitting_time_dense(
+      const std::vector<bool>& target) const;
+
  private:
-  Matrix q_;
+  /// y = v Q without forming Q: CSR scatter plus the diagonal term.
+  [[nodiscard]] Vector apply_generator(const Vector& v) const;
+  /// Transposed off-diagonal CSR (in-edges), sealed on demand.
+  [[nodiscard]] const CsrMatrix& sparse_transposed() const;
+  void invalidate() const;
+
+  // Off-diagonal adjacency: per-row entries sorted by target column.
+  std::vector<std::vector<CsrMatrix::Entry>> rows_;
+  Vector diag_;
+  std::size_t nnz_ = 0;
   std::vector<std::string> names_;
+
+  // Lazily sealed views (cleared on mutation).
+  mutable std::optional<CsrMatrix> csr_;
+  mutable std::optional<CsrMatrix> csr_transposed_;
+  mutable std::optional<Matrix> dense_;
 };
 
 /// Expected value of `reward` under distribution pi: sum_i pi_i r_i.

@@ -4,35 +4,50 @@
 
 namespace selfheal::ctmc {
 
+namespace {
+
+// Each mode's Fig. 3 STG (with its own attack rate) embedded at a mode
+// offset, plus the mode-switching coupling -- all as triplets, so the
+// product chain is built in O(nnz) without an intermediate dense copy.
+std::vector<linalg::Triplet> mmpp_triplets(const RecoveryStgConfig& base,
+                                           const BurstModel& burst,
+                                           std::size_t per_mode) {
+  if (burst.quiet_to_burst <= 0 || burst.burst_to_quiet <= 0) {
+    throw std::invalid_argument("MmppRecoveryStg: switching rates must be > 0");
+  }
+  std::vector<linalg::Triplet> triplets;
+  for (int mode = 0; mode < 2; ++mode) {
+    RecoveryStgConfig mode_config = base;
+    mode_config.lambda = mode == 0 ? burst.lambda_quiet : burst.lambda_burst;
+    const auto offset = static_cast<std::uint32_t>(mode) *
+                        static_cast<std::uint32_t>(per_mode);
+    for (const auto& t : recovery_stg_triplets(mode_config)) {
+      triplets.push_back({t.row + offset, t.col + offset, t.value});
+    }
+  }
+  for (std::uint32_t s = 0; s < per_mode; ++s) {
+    const auto burst_s = s + static_cast<std::uint32_t>(per_mode);
+    triplets.push_back({s, burst_s, burst.quiet_to_burst});
+    triplets.push_back({burst_s, s, burst.burst_to_quiet});
+  }
+  return triplets;
+}
+
+}  // namespace
+
 MmppRecoveryStg::MmppRecoveryStg(RecoveryStgConfig base, BurstModel burst)
     : base_(base), burst_(burst),
       per_mode_((base.alert_buffer + 1) * (base.recovery_buffer + 1)),
-      chain_(2 * per_mode_) {
-  // Build each mode's STG with its own attack rate and embed it, then
-  // couple the copies with the mode-switching rates.
+      chain_(Ctmc::from_triplets(2 * per_mode_,
+                                 mmpp_triplets(base, burst, per_mode_))) {
   for (int mode = 0; mode < 2; ++mode) {
-    RecoveryStgConfig mode_config = base_;
-    mode_config.lambda = mode == 0 ? burst_.lambda_quiet : burst_.lambda_burst;
-    const RecoveryStg stg(mode_config);
     const auto offset = static_cast<std::size_t>(mode) * per_mode_;
     for (std::size_t s = 0; s < per_mode_; ++s) {
+      const auto alerts = s / (base_.recovery_buffer + 1);
+      const auto units = s % (base_.recovery_buffer + 1);
       chain_.set_state_name(offset + s, std::string(mode == 0 ? "Q|" : "B|") +
-                                            stg.chain().state_name(s));
-      for (std::size_t t = 0; t < per_mode_; ++t) {
-        if (s == t) continue;
-        const double rate = stg.chain().rate(s, t);
-        if (rate > 0) chain_.set_rate(offset + s, offset + t, rate);
-      }
+                                            recovery_state_label(alerts, units));
     }
-  }
-  const double to_burst = burst_.quiet_to_burst;
-  const double to_quiet = burst_.burst_to_quiet;
-  if (to_burst <= 0 || to_quiet <= 0) {
-    throw std::invalid_argument("MmppRecoveryStg: switching rates must be > 0");
-  }
-  for (std::size_t s = 0; s < per_mode_; ++s) {
-    chain_.set_rate(s, per_mode_ + s, to_burst);
-    chain_.set_rate(per_mode_ + s, s, to_quiet);
   }
 }
 

@@ -28,43 +28,36 @@ int recovery_index(const RecoveryStgConfig& cfg, std::size_t a, std::size_t r) {
 }
 }  // namespace
 
-RecoveryStg::RecoveryStg(RecoveryStgConfig config)
-    : config_(std::move(config)),
-      chain_((config_.alert_buffer + 1) * (config_.recovery_buffer + 1)) {
-  const std::size_t amax = config_.alert_buffer;
-  const std::size_t rmax = config_.recovery_buffer;
+std::vector<linalg::Triplet> recovery_stg_triplets(const RecoveryStgConfig& config) {
+  const std::size_t amax = config.alert_buffer;
+  const std::size_t rmax = config.recovery_buffer;
   if (amax == 0 || rmax == 0) {
     throw std::invalid_argument("RecoveryStg: buffers must be >= 1");
   }
+  const auto state_of = [rmax](std::size_t a, std::size_t r) {
+    return static_cast<std::uint32_t>(a * (rmax + 1) + r);
+  };
 
+  std::vector<linalg::Triplet> triplets;
+  triplets.reserve(3 * (amax + 1) * (rmax + 1));
   for (std::size_t a = 0; a <= amax; ++a) {
     for (std::size_t r = 0; r <= rmax; ++r) {
-      const std::size_t s = state_of(a, r);
-      // Human-readable names mirroring the paper's N / S:n / R:n labels.
-      std::ostringstream name;
-      if (a == 0 && r == 0) {
-        name << "N";
-      } else if (a > 0) {
-        name << "S:" << a << "/R:" << r;
-      } else {
-        name << "R:" << r;
-      }
-      chain_.set_state_name(s, name.str());
-
+      const auto s = state_of(a, r);
       // Alert arrival; at a == amax the arrival is lost (no transition).
-      if (a < amax) {
-        chain_.set_rate(s, state_of(a + 1, r), config_.lambda);
+      if (a < amax && config.lambda > 0) {
+        triplets.push_back({s, state_of(a + 1, r), config.lambda});
       }
       // Scan: consume one alert, emit one recovery unit; blocked when the
       // recovery buffer is full.
       if (a >= 1 && r < rmax) {
-        const int k = scan_index(config_, a, r);
-        chain_.set_rate(s, state_of(a - 1, r + 1), config_.f(config_.mu1, k));
+        const int k = scan_index(config, a, r);
+        const double mu = config.f(config.mu1, k);
+        if (mu > 0) triplets.push_back({s, state_of(a - 1, r + 1), mu});
       }
       // Recovery execution, gated by the scan policy.
       if (r >= 1) {
         const bool enabled = [&] {
-          switch (config_.policy) {
+          switch (config.policy) {
             case ScanPolicy::kStrict: return a == 0;
             case ScanPolicy::kDrainWhenFull: return a == 0 || r == rmax;
             case ScanPolicy::kConcurrent: return true;
@@ -72,10 +65,37 @@ RecoveryStg::RecoveryStg(RecoveryStgConfig config)
           return false;
         }();
         if (enabled) {
-          const int k = recovery_index(config_, a, r);
-          chain_.set_rate(s, state_of(a, r - 1), config_.g(config_.xi1, k));
+          const int k = recovery_index(config, a, r);
+          const double xi = config.g(config.xi1, k);
+          if (xi > 0) triplets.push_back({s, state_of(a, r - 1), xi});
         }
       }
+    }
+  }
+  return triplets;
+}
+
+std::string recovery_state_label(std::size_t alerts, std::size_t units) {
+  // Human-readable names mirroring the paper's N / S:n / R:n labels.
+  std::ostringstream name;
+  if (alerts == 0 && units == 0) {
+    name << "N";
+  } else if (alerts > 0) {
+    name << "S:" << alerts << "/R:" << units;
+  } else {
+    name << "R:" << units;
+  }
+  return name.str();
+}
+
+RecoveryStg::RecoveryStg(RecoveryStgConfig config)
+    : config_(std::move(config)),
+      chain_(Ctmc::from_triplets(
+          (config_.alert_buffer + 1) * (config_.recovery_buffer + 1),
+          recovery_stg_triplets(config_))) {
+  for (std::size_t a = 0; a <= config_.alert_buffer; ++a) {
+    for (std::size_t r = 0; r <= config_.recovery_buffer; ++r) {
+      chain_.set_state_name(state_of(a, r), recovery_state_label(a, r));
     }
   }
 }
@@ -188,14 +208,13 @@ std::string RecoveryStg::describe() const {
       << ", mu1=" << config_.mu1 << ", xi1=" << config_.xi1 << "\n";
   for (std::size_t s = 0; s < state_count(); ++s) {
     bool any = false;
-    for (std::size_t t = 0; t < state_count(); ++t) {
-      if (s != t && chain_.rate(s, t) > 0) {
-        if (!any) {
-          out << chain_.state_name(s) << " ->";
-          any = true;
-        }
-        out << "  " << chain_.state_name(t) << " @" << chain_.rate(s, t);
+    for (const auto& edge : chain_.transitions_from(s)) {
+      if (edge.value <= 0) continue;
+      if (!any) {
+        out << chain_.state_name(s) << " ->";
+        any = true;
       }
+      out << "  " << chain_.state_name(edge.col) << " @" << edge.value;
     }
     if (any) out << "\n";
   }

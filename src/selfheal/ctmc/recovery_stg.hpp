@@ -62,6 +62,16 @@ struct RecoveryStgConfig {
   QueueIndex xi_index = QueueIndex::kUnits;
 };
 
+/// Off-diagonal transition triplets of the Figure 3 chain for `config`
+/// (state (a, r) has index a * (recovery_buffer + 1) + r). Shared by
+/// RecoveryStg and MmppRecoveryStg, which embeds one copy per mode --
+/// building triplets directly keeps both constructions O(nnz).
+[[nodiscard]] std::vector<linalg::Triplet> recovery_stg_triplets(
+    const RecoveryStgConfig& config);
+
+/// The paper's N / S:n / R:n label for grid point (alerts, units).
+[[nodiscard]] std::string recovery_state_label(std::size_t alerts, std::size_t units);
+
 /// Builds and interrogates the Figure 3 CTMC.
 class RecoveryStg {
  public:

@@ -1,6 +1,7 @@
 #include "selfheal/recovery/scheduler.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <map>
 #include <set>
@@ -161,8 +162,15 @@ RecoveryOutcome RecoveryScheduler::execute(const RecoveryPlan& plan) {
     outcome.work_units += ve.written_objects.size() + 1;
   };
 
+  const auto phase_ms = [](std::chrono::steady_clock::time_point since) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+  };
+
   // ---- Phase 1: undo the damage closure, reverse slot order. ----
   obs::Span undo_span("scheduler.undo_phase", "recovery");
+  auto phase_start = std::chrono::steady_clock::now();
   std::vector<InstanceId> damage = plan.damaged;
   std::sort(damage.begin(), damage.end(), [&](InstanceId a, InstanceId b) {
     return log.entry(a).logical_slot > log.entry(b).logical_slot;
@@ -175,6 +183,7 @@ RecoveryOutcome RecoveryScheduler::execute(const RecoveryPlan& plan) {
     }
     commit_undo(id);
   }
+  outcome.undo_ms = phase_ms(phase_start);
   undo_span.end();
 
   // ---- Phase 2: slot-ordered replay over a clean timeline. ----
@@ -223,6 +232,7 @@ RecoveryOutcome RecoveryScheduler::execute(const RecoveryPlan& plan) {
   std::set<InstanceId> visited;
 
   obs::Span replay_span("scheduler.replay_phase", "recovery");
+  phase_start = std::chrono::steady_clock::now();
   while (true) {
     const auto pick = pick_next_run(cursors);
     if (pick == static_cast<std::size_t>(-1)) break;  // all runs done
@@ -360,10 +370,12 @@ RecoveryOutcome RecoveryScheduler::execute(const RecoveryPlan& plan) {
   for (const auto id : outcome.undone) {
     if (!visited.count(id)) outcome.orphaned.push_back(id);
   }
+  outcome.replay_ms = phase_ms(phase_start);
   replay_span.end();
 
   // ---- Phase 3: reconcile masked writes against the clean timeline. ----
   obs::Span reconcile_span("scheduler.reconcile_phase", "recovery");
+  phase_start = std::chrono::steady_clock::now();
   std::vector<std::pair<ObjectId, Value>> fixes;
   const auto& store = engine.store();
   for (std::size_t o = 0; o < store.object_count(); ++o) {
@@ -384,6 +396,7 @@ RecoveryOutcome RecoveryScheduler::execute(const RecoveryPlan& plan) {
     outcome.repair_entries.push_back(rid);
     outcome.action_entries.push_back(rid);
   }
+  outcome.reconcile_ms = phase_ms(phase_start);
   reconcile_span.end();
 
   sm.plans_executed.inc();

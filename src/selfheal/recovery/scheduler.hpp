@@ -50,6 +50,12 @@ struct RecoveryOutcome {
   std::size_t reused = 0;       // instances kept without re-execution
   std::size_t divergences = 0;  // branch redos that changed the path
   std::size_t work_units = 0;   // cost proxy: checks + executions
+  /// Wall-clock split of execute() by phase, isolating where recovery
+  /// time goes as fleets grow (the undo cascade is O(damage), the replay
+  /// sweep O(effective log), the reconcile pass O(objects)).
+  double undo_ms = 0.0;
+  double replay_ms = 0.0;
+  double reconcile_ms = 0.0;
   /// Dynamically resolved Theorem 3 constraints (rules 8 and 10).
   std::vector<OrderConstraint> resolved;
 

@@ -71,8 +71,26 @@ TEST(Ctmc, SteadyStateGthMatchesLu) {
   const auto gth = c.steady_state();
   const auto lu = c.steady_state_lu();
   ASSERT_TRUE(gth.has_value());
-  ASSERT_TRUE(lu.has_value());
-  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR((*gth)[i], (*lu)[i], 1e-10);
+  ASSERT_TRUE(lu.ok());
+  ASSERT_TRUE(lu.pi.has_value());
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR((*gth)[i], (*lu.pi)[i], 1e-10);
+}
+
+TEST(Ctmc, SteadyStateLuReportsWhyItFailed) {
+  Ctmc empty(0);
+  EXPECT_EQ(empty.steady_state_lu().error, SteadyStateError::kEmptyChain);
+  // Two disjoint closed classes: pi Q = 0 has a 2-dimensional solution
+  // space, so the normalised LU system is singular -- and the result
+  // says so instead of a bare nullopt.
+  Ctmc split(4);
+  split.set_rate(0, 1, 1.0);
+  split.set_rate(1, 0, 2.0);
+  split.set_rate(2, 3, 1.0);
+  split.set_rate(3, 2, 2.0);
+  const auto res = split.steady_state_lu();
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.error, SteadyStateError::kSingularPivot);
+  EXPECT_EQ(std::string(to_string(res.error)), "singular-pivot");
 }
 
 TEST(Ctmc, SteadyStateSatisfiesBalance) {

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "selfheal/util/thread_pool.hpp"
+
+namespace {
+
+using selfheal::util::ThreadPool;
+using selfheal::util::parallel_for_index;
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::vector<std::atomic<int>> hits(257);
+  pool.for_index(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, IndexedWritesAreDeterministic) {
+  // The pool's determinism contract: results written by index are
+  // identical for any thread count.
+  const std::size_t n = 100;
+  auto run = [n](std::size_t threads) {
+    std::vector<double> out(n);
+    ThreadPool pool(threads);
+    pool.for_index(n, [&](std::size_t i) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k <= i; ++k) acc += static_cast<double>(k * k) * 1e-3;
+      out[i] = acc;
+    });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(8));
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<std::size_t> total{0};
+    pool.for_index(64, [&](std::size_t i) { total.fetch_add(i); });
+    EXPECT_EQ(total.load(), 64u * 63u / 2u);
+  }
+}
+
+TEST(ThreadPool, PropagatesTheFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.for_index(128,
+                     [&](std::size_t i) {
+                       if (i == 17) throw std::runtime_error("boom");
+                     }),
+      std::runtime_error);
+  // The pool survives a failed job.
+  std::atomic<int> count{0};
+  pool.for_index(8, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::vector<std::size_t> order;
+  pool.for_index(5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ZeroCountIsANoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.for_index(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelForIndex, CoversAllThreadCounts) {
+  for (std::size_t threads : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                              std::size_t{7}}) {
+    std::vector<std::atomic<int>> hits(33);
+    parallel_for_index(threads, hits.size(),
+                       [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelForIndex, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+}  // namespace
