@@ -3,6 +3,7 @@
 //   chaos_campaign --seeds 100                 # seeds 1..100, default mix
 //   chaos_campaign --seed 42                   # reproduce one campaign
 //   chaos_campaign --seeds 100 --threads 8     # fan seeds over a pool
+//   chaos_campaign --seeds 100 --storage-faults  # + storage corruption
 //   chaos_campaign --seeds 100 --json-out r.json --metrics-out m.jsonl
 //
 // The report is byte-identical for every --threads value (campaigns are
@@ -21,6 +22,7 @@
 #include "selfheal/chaos/campaign.hpp"
 #include "selfheal/obs/artifacts.hpp"
 #include "selfheal/util/flags.hpp"
+#include "selfheal/util/fsio.hpp"
 
 int main(int argc, char** argv) {
   using namespace selfheal;
@@ -45,20 +47,45 @@ int main(int argc, char** argv) {
       flags.get_double("permanent-rate", base.task_faults.permanent_rate);
   base.crash.enabled = flags.get_bool("crashes", base.crash.enabled);
   base.crash.crash_prob = flags.get_double("crash-prob", base.crash.crash_prob);
+  if (flags.get_bool("storage-faults", false)) {
+    // Route crashes through the durable storage layer with the default
+    // corruption mix (overridable per rate below).
+    base = [&] {
+      auto with_storage = chaos::default_storage_campaign(first_seed);
+      with_storage.n_workflows = base.n_workflows;
+      with_storage.n_attacks = base.n_attacks;
+      with_storage.ids = base.ids;
+      with_storage.task_faults = base.task_faults;
+      with_storage.crash.enabled = base.crash.enabled;
+      return with_storage;
+    }();
+    base.crash.crash_prob =
+        flags.get_double("crash-prob", base.crash.crash_prob);
+    auto& f = base.storage.faults;
+    f.torn_write_rate = flags.get_double("torn-rate", f.torn_write_rate);
+    f.bit_flip_rate = flags.get_double("flip-rate", f.bit_flip_rate);
+    f.truncation_rate = flags.get_double("truncate-rate", f.truncation_rate);
+    f.duplicate_record_rate =
+        flags.get_double("duplicate-rate", f.duplicate_record_rate);
+    f.crash_before_rename_rate =
+        flags.get_double("rename-crash-rate", f.crash_before_rename_rate);
+  }
 
   const auto threads = static_cast<std::size_t>(flags.get_int("threads", 1));
   const auto suite = chaos::run_campaigns(first_seed, count, base, threads);
 
-  const std::string repro_prefix = "chaos_campaign";
+  const std::string repro_prefix =
+      flags.get_bool("storage-faults", false) ? "chaos_campaign --storage-faults"
+                                              : "chaos_campaign";
   const std::string report = suite.to_json(repro_prefix);
   const std::string json_out = flags.get("json-out", "");
   if (!json_out.empty()) {
-    std::ofstream out(json_out);
-    if (!out) {
-      std::cerr << "cannot write " << json_out << "\n";
+    try {
+      util::write_file_atomic(json_out, report);
+    } catch (const std::exception& e) {
+      std::cerr << "cannot write " << json_out << ": " << e.what() << "\n";
       return 2;
     }
-    out << report;
   } else {
     std::cout << report;
   }

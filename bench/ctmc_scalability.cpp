@@ -21,7 +21,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -29,6 +29,7 @@
 #include "selfheal/obs/artifacts.hpp"
 #include "selfheal/obs/metrics.hpp"
 #include "selfheal/util/flags.hpp"
+#include "selfheal/util/fsio.hpp"
 #include "selfheal/util/table.hpp"
 #include "selfheal/util/thread_pool.hpp"
 
@@ -86,7 +87,7 @@ struct SweepTiming {
 
 void write_json(const std::string& path, const std::vector<SolverRow>& rows,
                 const SweepTiming& sweep) {
-  std::ofstream out(path);
+  std::ostringstream out;
   out << "{\n"
       << "  \"bench\": \"ctmc_scalability\",\n"
       << "  \"schema_version\": 1,\n"
@@ -107,6 +108,9 @@ void write_json(const std::string& path, const std::vector<SolverRow>& rows,
       << sweep.serial_ms << ", \"threads_n_ms\": " << sweep.parallel_ms
       << ", \"speedup\": " << sweep.speedup << "}\n"
       << "}\n";
+  // Atomic replace: the committed baseline is diffed against this file,
+  // so a crash mid-write must not leave a torn artifact behind.
+  util::write_file_atomic(path, out.str());
 }
 
 }  // namespace

@@ -22,7 +22,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -31,6 +31,7 @@
 #include "selfheal/recovery/correctness.hpp"
 #include "selfheal/recovery/scheduler.hpp"
 #include "selfheal/sim/workload.hpp"
+#include "selfheal/util/fsio.hpp"
 #include "selfheal/util/table.hpp"
 
 using namespace selfheal;
@@ -86,7 +87,7 @@ const char* json_bool(bool b) { return b ? "true" : "false"; }
 void write_json(const std::string& path, const std::vector<FleetRow>& fleet,
                 const std::vector<AttackRow>& attacks,
                 const std::vector<AppendRow>& appends) {
-  std::ofstream out(path);
+  std::ostringstream out;
   out << "{\n"
       << "  \"bench\": \"recovery_scalability\",\n"
       << "  \"schema_version\": 2,\n"
@@ -122,6 +123,9 @@ void write_json(const std::string& path, const std::vector<FleetRow>& fleet,
         << (i + 1 < appends.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
+  // Atomic replace: the committed baseline is diffed against this file,
+  // so a crash mid-write must not leave a torn artifact behind.
+  util::write_file_atomic(path, out.str());
 }
 
 }  // namespace

@@ -10,6 +10,9 @@ from the JSON's "bench" field and dispatched to a per-bench metric map:
     watches the steady-state `analyze_incremental_ms` (largest fleet).
   * ctmc_scalability     -- solver_sweep rows keyed by `states`;
     watches `sparse_steady_ms` at the largest state count.
+  * storage_recovery     -- recovery_sweep rows keyed by `workflows`;
+    watches `recover_ms` (snapshot decode + WAL replay) at the largest
+    fleet.
 
 Prints one markdown comparison table per pair (also appended to
 --summary-out, which CI points at $GITHUB_STEP_SUMMARY) and emits a
@@ -38,6 +41,12 @@ BENCHES = {
         "key": "states",
         "columns": ("sparse_steady_ms", "dense_gth_ms", "dense_lu_ms"),
         "watch": "sparse_steady_ms",
+    },
+    "storage_recovery": {
+        "rows": "recovery_sweep",
+        "key": "workflows",
+        "columns": ("checkpoint_ms", "scan_ms", "recover_ms"),
+        "watch": "recover_ms",
     },
 }
 

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "selfheal/engine/durable_session.hpp"
 #include "selfheal/engine/session_io.hpp"
 #include "selfheal/obs/metrics.hpp"
 #include "selfheal/obs/trace.hpp"
@@ -19,6 +20,7 @@ namespace {
 // Salts deriving the campaign's independent rng streams (see header).
 constexpr std::uint64_t kIdsSalt = 0x1d51d51d51d51d5ULL;
 constexpr std::uint64_t kCrashSalt = 0xc4a5bc4a5bc4a5bULL;
+constexpr std::uint64_t kStorageSalt = 0x5704a6ec4a05ULL;
 
 struct ChaosMetrics {
   obs::Counter& campaigns = obs::metrics().counter("chaos.campaigns");
@@ -44,6 +46,27 @@ struct ChaosMetrics {
   obs::Counter& rec_crash = obs::metrics().counter("chaos.recovered.crashes");
   obs::Counter& rec_degraded =
       obs::metrics().counter("chaos.recovered.degraded_runs");
+  // Storage chaos: what the injector damaged vs what recovery reported.
+  obs::Counter& st_inj_torn =
+      obs::metrics().counter("chaos.storage.injected.torn_writes");
+  obs::Counter& st_inj_flips =
+      obs::metrics().counter("chaos.storage.injected.bit_flips");
+  obs::Counter& st_inj_trunc =
+      obs::metrics().counter("chaos.storage.injected.truncations");
+  obs::Counter& st_inj_dups =
+      obs::metrics().counter("chaos.storage.injected.duplicate_records");
+  obs::Counter& st_inj_rename =
+      obs::metrics().counter("chaos.storage.injected.crashes_before_rename");
+  obs::Counter& st_det_damaged =
+      obs::metrics().counter("chaos.storage.detected.damaged_recoveries");
+  obs::Counter& st_det_lossy =
+      obs::metrics().counter("chaos.storage.detected.lossy_recoveries");
+  obs::Counter& st_det_dups =
+      obs::metrics().counter("chaos.storage.detected.duplicates_skipped");
+  obs::Counter& st_det_fallbacks =
+      obs::metrics().counter("chaos.storage.detected.snapshot_fallbacks");
+  obs::Counter& st_silent =
+      obs::metrics().counter("chaos.storage.silent_corruptions");
 };
 
 ChaosMetrics& chaos_metrics() {
@@ -145,12 +168,64 @@ InternalOutcome run_internal(const CampaignConfig& config) {
       ids_sim.detect(world.session.engine->log(), ids_rng, &result.ids_stats);
   result.alerts_delivered = alerts.size();
 
+  // --- Durable storage layer (storage chaos): the initial checkpoint
+  // is written pristine (the durable state that existed before the
+  // storm), then the seeded injector arms and every subsequent media
+  // write -- WAL appends mirrored off the engine, re-checkpoints after
+  // recoveries -- is fair game.
+  std::unique_ptr<storage::StorageFaultInjector> storage_faults;
+  std::unique_ptr<engine::DurableSessionStore> durable_store;
+  if (config.storage.enabled) {
+    result.storage_enabled = true;
+    storage_faults = std::make_unique<storage::StorageFaultInjector>(
+        util::splitmix64(config.seed ^ kStorageSalt), config.storage.faults);
+    durable_store = std::make_unique<engine::DurableSessionStore>();
+    durable_store->checkpoint(*world.session.engine);
+    durable_store->set_fault_injector(storage_faults.get());
+    world.session.engine->set_durability_observer(durable_store.get());
+  }
+
+  // Accounts one recovery attempt; returns the recovered session (null
+  // engine when unrecoverable). Enforces the never-silent contract: a
+  // report claiming losslessness must yield a byte-identical
+  // RecoveryPlan; explicit degradation (an earlier resumable state) is
+  // legal and is healed by alert redelivery.
+  const auto storage_recover =
+      [&](const recovery::RecoveryPlan& plan_pre) -> engine::Session {
+    engine::RecoveryReport report;
+    auto recovered = durable_store->recover(report);
+    ++result.storage_recoveries;
+    if (report.detected_damage()) ++result.storage_damaged_recoveries;
+    if (!report.lossless()) ++result.storage_lossy_recoveries;
+    result.wal_records_replayed += report.wal_records_replayed;
+    result.wal_duplicates_skipped += report.wal_duplicates_skipped;
+    result.snapshot_fallbacks += report.snapshot_fallbacks;
+    if (report.unrecoverable) {
+      result.storage_unrecoverable = true;
+      result.failure = "storage unrecoverable: every snapshot generation damaged";
+      return recovered;
+    }
+    const auto plan_post =
+        recovery::RecoveryAnalyzer(*recovered.engine).analyze(world.malicious);
+    if (!(plan_pre == plan_post)) {
+      result.plans_identical = false;
+      if (report.lossless()) {
+        result.no_silent_corruption = false;
+        result.failure =
+            "silent storage corruption: recovery reported lossless (" +
+            report.summary() + ") but the recovery plan differs";
+      }
+    }
+    return recovered;
+  };
+
   // --- Controller loop with seeded crash/restart points.
   util::Rng crash_rng(util::splitmix64(config.seed ^ kCrashSalt));
   auto controller = std::make_unique<recovery::SelfHealingController>(
       *world.session.engine, config.controller);
 
   const auto retire_controller = [&]() {
+    if (controller == nullptr) return;
     result.scans += controller->stats().scans;
     result.recoveries += controller->stats().recoveries;
     controller.reset();
@@ -173,34 +248,64 @@ InternalOutcome run_internal(const CampaignConfig& config) {
     const auto plan_pre =
         recovery::RecoveryAnalyzer(*world.session.engine).analyze(world.malicious);
 
-    std::stringstream durable;
-    engine::save_session(*world.session.engine, durable);
-    retire_controller();  // volatile queues die with the process
-    world.session = engine::load_session(durable);
-    // The fault plan models the environment, not the crashed process:
-    // the restarted engine executes in the same faulty world, or its
-    // recovery would diverge from the crash-free twin's.
-    if (config.task_faults.enabled()) {
-      world.session.engine->set_fault_injector(fault_plan.injector());
-    }
+    if (durable_store != nullptr) {
+      // Crash through the (possibly damaged) storage layer.
+      retire_controller();  // volatile queues die with the process
+      auto recovered = storage_recover(plan_pre);
+      if (result.storage_unrecoverable) return;
+      world.session = std::move(recovered);
+      if (config.task_faults.enabled()) {
+        world.session.engine->set_fault_injector(fault_plan.injector());
+      }
+      // Re-base the media on the recovered state and resume mirroring.
+      durable_store->checkpoint(*world.session.engine);
+      world.session.engine->set_durability_observer(durable_store.get());
+    } else {
+      std::stringstream durable;
+      engine::save_session(*world.session.engine, durable);
+      retire_controller();  // volatile queues die with the process
+      world.session = engine::load_session(durable);
+      // The fault plan models the environment, not the crashed process:
+      // the restarted engine executes in the same faulty world, or its
+      // recovery would diverge from the crash-free twin's.
+      if (config.task_faults.enabled()) {
+        world.session.engine->set_fault_injector(fault_plan.injector());
+      }
 
-    const auto plan_post =
-        recovery::RecoveryAnalyzer(*world.session.engine).analyze(world.malicious);
-    if (!(plan_pre == plan_post)) {
-      result.plans_identical = false;
-      result.failure = "post-crash recovery plan differs from pre-crash plan";
+      const auto plan_post =
+          recovery::RecoveryAnalyzer(*world.session.engine).analyze(world.malicious);
+      if (!(plan_pre == plan_post)) {
+        result.plans_identical = false;
+        result.failure = "post-crash recovery plan differs from pre-crash plan";
+      }
     }
-    controller = std::make_unique<recovery::SelfHealingController>(
-        *world.session.engine, config.controller);
+    if (result.failure.empty()) {
+      controller = std::make_unique<recovery::SelfHealingController>(
+          *world.session.engine, config.controller);
+    }
+  };
+
+  // One controller step is the atomic unit crashes align to (maybe_crash
+  // fires only between steps), so it must also be the WAL's atomic unit:
+  // all commits of a step land in one record, and a lossy storage rewind
+  // can only land on a step boundary -- a state crash/restart is proven
+  // to resume from. Without batching, a rewind could strand the engine
+  // mid-step (e.g. undos applied, their redo lost), a state the
+  // controller never re-plans from live.
+  const auto step_batched = [&](auto&& body) {
+    if (durable_store != nullptr) durable_store->begin_batch();
+    const bool progressed = static_cast<bool>(body());
+    if (durable_store != nullptr) durable_store->end_batch();
+    return progressed;
   };
 
   // One controller step; returns false when nothing can progress.
   const auto step_once = [&]() {
-    if (controller->scan_one()) {
+    if (step_batched([&] { return controller->scan_one(); })) {
       maybe_crash();
       return true;
     }
-    if (controller->recover_one()) {
+    if (step_batched([&] { return controller->recover_one(); })) {
       maybe_crash();
       return true;
     }
@@ -217,7 +322,7 @@ InternalOutcome run_internal(const CampaignConfig& config) {
     for (const auto& alert : alerts) {
       // Backpressure: a full alert queue means the controller must make
       // progress before this (re)delivery can land.
-      while (!controller->submit_alert(alert)) {
+      while (!step_batched([&] { return controller->submit_alert(alert); })) {
         if (!step_once()) break;
         if (crashed_this_round) break;
       }
@@ -248,6 +353,19 @@ InternalOutcome run_internal(const CampaignConfig& config) {
     }
   }
 
+  // --- Final recovery probe (storage chaos): whatever is on the media
+  // right now must either recover to the live state byte-identically or
+  // say explicitly that it cannot. Guarantees every storage campaign
+  // exercises recovery at least once, crashes or not.
+  if (durable_store != nullptr && result.failure.empty()) {
+    const auto plan_live =
+        recovery::RecoveryAnalyzer(*world.session.engine).analyze(world.malicious);
+    (void)storage_recover(plan_live);
+  }
+  if (storage_faults != nullptr) {
+    result.storage_injected = storage_faults->counts();
+  }
+
   result.log_entries = world.session.engine->log().size();
   out.final_store = effective_store(*world.session.engine);
   return out;
@@ -273,6 +391,18 @@ void record_metrics(const CampaignResult& result) {
     if (result.crashes > 0) cm.rec_crash.inc();
     cm.rec_degraded.inc(result.aborted_runs);
   }
+  if (result.storage_enabled) {
+    cm.st_inj_torn.inc(result.storage_injected.torn_writes);
+    cm.st_inj_flips.inc(result.storage_injected.bit_flips);
+    cm.st_inj_trunc.inc(result.storage_injected.truncations);
+    cm.st_inj_dups.inc(result.storage_injected.duplicate_records);
+    cm.st_inj_rename.inc(result.storage_injected.crashes_before_rename);
+    cm.st_det_damaged.inc(result.storage_damaged_recoveries);
+    cm.st_det_lossy.inc(result.storage_lossy_recoveries);
+    cm.st_det_dups.inc(result.wal_duplicates_skipped);
+    cm.st_det_fallbacks.inc(result.snapshot_fallbacks);
+    if (!result.no_silent_corruption) cm.st_silent.inc();
+  }
 }
 
 }  // namespace
@@ -294,6 +424,19 @@ CampaignConfig default_campaign(std::uint64_t seed) {
   config.task_faults.permanent_rate = 0.02;
   // Crash/restart mid-recovery.
   config.crash.enabled = true;
+  return config;
+}
+
+CampaignConfig default_storage_campaign(std::uint64_t seed) {
+  CampaignConfig config = default_campaign(seed);
+  // Crash more often so the damaged media actually gets read back.
+  config.crash.crash_prob = 0.4;
+  config.storage.enabled = true;
+  config.storage.faults.torn_write_rate = 0.04;
+  config.storage.faults.bit_flip_rate = 0.04;
+  config.storage.faults.truncation_rate = 0.03;
+  config.storage.faults.duplicate_record_rate = 0.05;
+  config.storage.faults.crash_before_rename_rate = 0.10;
   return config;
 }
 
@@ -340,6 +483,25 @@ std::string CampaignResult::to_json() const {
       << ", \"alerts_delivered\": " << alerts_delivered
       << ", \"scans\": " << scans << ", \"recoveries\": " << recoveries
       << ", \"log_entries\": " << log_entries;
+  if (storage_enabled) {
+    out << ", \"storage\": {\"injected\": {\"torn_writes\": "
+        << storage_injected.torn_writes
+        << ", \"bit_flips\": " << storage_injected.bit_flips
+        << ", \"truncations\": " << storage_injected.truncations
+        << ", \"duplicate_records\": " << storage_injected.duplicate_records
+        << ", \"crashes_before_rename\": "
+        << storage_injected.crashes_before_rename << "}"
+        << ", \"detected\": {\"recoveries\": " << storage_recoveries
+        << ", \"damaged_recoveries\": " << storage_damaged_recoveries
+        << ", \"lossy_recoveries\": " << storage_lossy_recoveries
+        << ", \"wal_records_replayed\": " << wal_records_replayed
+        << ", \"wal_duplicates_skipped\": " << wal_duplicates_skipped
+        << ", \"snapshot_fallbacks\": " << snapshot_fallbacks << "}"
+        << ", \"no_silent_corruption\": "
+        << (no_silent_corruption ? "true" : "false")
+        << ", \"unrecoverable\": " << (storage_unrecoverable ? "true" : "false")
+        << "}";
+  }
   if (!failure.empty()) {
     std::string escaped;
     for (const char c : failure) {

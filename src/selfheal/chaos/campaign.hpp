@@ -39,6 +39,7 @@
 #include "selfheal/ids/ids.hpp"
 #include "selfheal/recovery/controller.hpp"
 #include "selfheal/sim/workload.hpp"
+#include "selfheal/storage/fault_injector.hpp"
 
 namespace selfheal::chaos {
 
@@ -51,6 +52,19 @@ struct CrashConfig {
   std::size_t max_crashes = 3;
 };
 
+/// Fault class 4: storage-level corruption. When enabled, crash/restart
+/// cycles route through the durable storage layer (snapshot chain +
+/// checksummed WAL, engine/durable_session.hpp) instead of a pristine
+/// session stream, and a seeded storage::StorageFaultInjector damages
+/// every media write. The initial checkpoint (pre-storm durable state)
+/// is written pristine; everything after it is fair game. The campaign
+/// additionally runs one final recovery probe, so every storage
+/// campaign exercises recovery at least once even without crashes.
+struct StorageChaosConfig {
+  bool enabled = false;
+  storage::StorageFaultConfig faults;
+};
+
 struct CampaignConfig {
   std::uint64_t seed = 1;
   std::size_t n_workflows = 4;
@@ -60,12 +74,17 @@ struct CampaignConfig {
   ids::IdsConfig ids;
   TaskFaultConfig task_faults;
   CrashConfig crash;
+  StorageChaosConfig storage;
   recovery::ControllerConfig controller;
 };
 
 /// The default chaotic mix: every fault class enabled at rates that keep
 /// campaigns interesting but terminating.
 [[nodiscard]] CampaignConfig default_campaign(std::uint64_t seed);
+
+/// default_campaign plus storage-level corruption at rates that exercise
+/// every fault kind across a modest seed sweep.
+[[nodiscard]] CampaignConfig default_storage_campaign(std::uint64_t seed);
 
 struct CampaignResult {
   std::uint64_t seed = 0;
@@ -90,6 +109,23 @@ struct CampaignResult {
   /// schedule) is byte-identical to a crash-free twin campaign's.
   /// Vacuously true when no crash fired.
   bool store_matches_uninterrupted = true;
+
+  // --- storage chaos (chaos.storage.*; zeroed unless storage.enabled) ---
+  bool storage_enabled = false;
+  /// Ground truth from the injector: what was actually damaged.
+  storage::StorageFaultCounts storage_injected;
+  std::size_t storage_recoveries = 0;        // crash recoveries + final probe
+  std::size_t storage_damaged_recoveries = 0;  // recoveries that saw damage
+  std::size_t storage_lossy_recoveries = 0;  // explicitly degraded recoveries
+  std::size_t wal_records_replayed = 0;
+  std::size_t wal_duplicates_skipped = 0;
+  std::size_t snapshot_fallbacks = 0;
+  /// No recovery ever claimed losslessness while producing a different
+  /// RecoveryPlan -- the never-silent contract. Must stay true.
+  bool no_silent_corruption = true;
+  /// Every snapshot generation was damaged (cannot happen with a
+  /// pristine initial checkpoint; a campaign failure if it does).
+  bool storage_unrecoverable = false;
 
   /// Empty when the campaign passed; otherwise a one-line diagnosis.
   std::string failure;

@@ -1,0 +1,365 @@
+#include "selfheal/engine/durable_session.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+#include "selfheal/obs/metrics.hpp"
+
+namespace selfheal::engine {
+
+namespace {
+
+struct DurableMetrics {
+  obs::Counter& checkpoints = obs::metrics().counter("storage.checkpoints");
+  obs::Counter& wal_records = obs::metrics().counter("storage.wal_records");
+  obs::Counter& recoveries = obs::metrics().counter("storage.recover.attempts");
+  obs::Counter& replayed =
+      obs::metrics().counter("storage.recover.replayed_records");
+  obs::Counter& lost_updates =
+      obs::metrics().counter("storage.recover.lost_updates");
+  obs::Counter& unrecoverable =
+      obs::metrics().counter("storage.recover.unrecoverable");
+};
+
+DurableMetrics& durable_metrics() {
+  static DurableMetrics m;
+  return m;
+}
+
+/// Strict local integer parse (the WAL payload is adversarial input:
+/// a bit flip can survive into a CRC-colliding record in principle, and
+/// tests feed hand-damaged records).
+template <typename T>
+bool parse_int(std::string_view token, T& out) {
+  const auto result =
+      std::from_chars(token.data(), token.data() + token.size(), out);
+  return !token.empty() && result.ec == std::errc() &&
+         result.ptr == token.data() + token.size();
+}
+
+bool next_token(std::istringstream& in, std::string& token) {
+  return static_cast<bool>(in >> token);
+}
+
+/// "control <run> <active> <aborted> <pc> visits t:c... pending t:i..."
+std::string format_run_control(const Engine& engine, RunId run) {
+  const auto snapshot = engine.run_snapshot(run);
+  std::ostringstream out;
+  out << "control " << run << " " << (snapshot.active ? 1 : 0) << " "
+      << (snapshot.aborted ? 1 : 0) << " " << snapshot.pc << " visits";
+  for (const auto& [task, count] : snapshot.visits) {
+    out << " " << task << ":" << count;
+  }
+  out << " pending";
+  for (const auto& [task, inc] : snapshot.pending_malicious) {
+    out << " " << task << ":" << inc;
+  }
+  return out.str();
+}
+
+bool parse_pair(const std::string& token, std::int64_t& first,
+                std::int64_t& second) {
+  const auto colon = token.find(':');
+  if (colon == std::string::npos) return false;
+  return parse_int(std::string_view(token).substr(0, colon), first) &&
+         parse_int(std::string_view(token).substr(colon + 1), second);
+}
+
+/// Applies a control record to the engine; false on malformed payload.
+bool apply_run_control(Engine& engine, const std::string& payload) {
+  std::istringstream in(payload);
+  std::string token;
+  if (!next_token(in, token) || token != "control") return false;
+  RunId run = 0;
+  int active = 0;
+  int aborted = 0;
+  wfspec::TaskId pc = wfspec::kInvalidTask;
+  if (!next_token(in, token) || !parse_int(token, run)) return false;
+  if (!next_token(in, token) || !parse_int(token, active)) return false;
+  if (!next_token(in, token) || !parse_int(token, aborted)) return false;
+  if (!next_token(in, token) || !parse_int(token, pc)) return false;
+  if (run < 0 || static_cast<std::size_t>(run) >= engine.run_count()) {
+    return false;
+  }
+  if (!next_token(in, token) || token != "visits") return false;
+  std::map<wfspec::TaskId, int> visits;
+  bool saw_pending = false;
+  while (next_token(in, token)) {
+    if (token == "pending") {
+      saw_pending = true;
+      break;
+    }
+    std::int64_t task = 0;
+    std::int64_t count = 0;
+    if (!parse_pair(token, task, count)) return false;
+    visits[static_cast<wfspec::TaskId>(task)] = static_cast<int>(count);
+  }
+  if (!saw_pending) return false;
+  std::vector<std::pair<wfspec::TaskId, int>> pending;
+  while (next_token(in, token)) {
+    std::int64_t task = 0;
+    std::int64_t inc = 0;
+    if (!parse_pair(token, task, inc)) return false;
+    pending.emplace_back(static_cast<wfspec::TaskId>(task),
+                         static_cast<int>(inc));
+  }
+  try {
+    engine.resume_run(run, active != 0 ? pc : wfspec::kInvalidTask, visits);
+    if (aborted != 0 && !engine.run_aborted(run)) engine.abort_run(run);
+    for (const auto& [task, inc] : pending) {
+      engine.inject_malicious(run, task, inc);
+    }
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string RecoveryReport::summary() const {
+  std::ostringstream out;
+  if (unrecoverable) return "unrecoverable: no intact snapshot generation";
+  out << "base generation " << snapshot_generation;
+  if (snapshot_fallbacks > 0) out << " (+" << snapshot_fallbacks << " fallbacks)";
+  out << ", " << wal_records_replayed << " records replayed";
+  if (wal_duplicates_skipped > 0) {
+    out << ", " << wal_duplicates_skipped << " duplicates skipped";
+  }
+  if (!wal_error.ok()) out << ", wal: " << wal_error.message();
+  if (wal_base_mismatch) out << ", wal base mismatch";
+  if (wal_parse_failure) out << ", wal parse failure";
+  out << (lost_updates ? ", LOST UPDATES" : ", lossless");
+  return out.str();
+}
+
+void DurableSessionStore::wal_record(storage::WalRecordType type,
+                                     std::string_view payload) {
+  durable_metrics().wal_records.inc();
+  if (faults_ != nullptr) {
+    faults_->on_wal_append(wal_, storage::encode_wal_record(type, payload),
+                           op_index_++);
+  } else {
+    ++op_index_;
+    storage::wal_append(wal_, type, payload);
+  }
+}
+
+void DurableSessionStore::emit(std::string_view payload) {
+  if (batch_open_) {
+    if (!batch_.empty()) batch_ += '\n';
+    batch_ += payload;
+    return;
+  }
+  wal_record(storage::WalRecordType::kData, payload);
+}
+
+void DurableSessionStore::end_batch() {
+  batch_open_ = false;
+  if (batch_.empty()) return;
+  wal_record(storage::WalRecordType::kData, batch_);
+  batch_.clear();
+}
+
+void DurableSessionStore::checkpoint(const Engine& engine) {
+  durable_metrics().checkpoints.inc();
+  // A checkpoint subsumes anything still buffered: the snapshot reads
+  // the live engine, which already includes those commits.
+  batch_.clear();
+  batch_open_ = false;
+  std::ostringstream text;
+  save_session(engine, text);
+  const auto generation = snapshots_.next_generation();
+  auto blob = storage::encode_snapshot(generation, text.str());
+  auto fault = storage::StorageFaultKind::kNone;
+  if (faults_ != nullptr) {
+    fault = faults_->on_snapshot_write(blob, op_index_++);
+  } else {
+    ++op_index_;
+  }
+  snapshots_.push(std::move(blob));
+  if (fault == storage::StorageFaultKind::kCrashBeforeRename) {
+    // The rename never became durable, and a real writer would know
+    // (crashed mid-checkpoint): the previous snapshot + WAL stay
+    // authoritative, so keep appending to the old log.
+    return;
+  }
+  // Torn/flipped snapshot damage is NOT observable at write time (fsync
+  // succeeded, the media lied), so the WAL is truncated and based on
+  // the new generation regardless -- recovery detects the mismatch.
+  base_generation_ = generation;
+  base_log_size_ = engine.log().size();
+  wal_ = storage::wal_header();
+  wal_record(storage::WalRecordType::kMeta,
+             "base " + std::to_string(generation) + " " +
+                 std::to_string(base_log_size_));
+}
+
+void DurableSessionStore::on_commit(const Engine& engine,
+                                    const TaskInstance& entry) {
+  if (entry.kind == ActionKind::kNormal ||
+      entry.kind == ActionKind::kMalicious) {
+    // Original executions move the run's pc/visits with the commit. The
+    // entry and its control state must land ATOMICALLY -- as one record
+    // -- or damage between the two would recover a log that disagrees
+    // with its run control (the entry exists but the pc never advanced,
+    // so replaying the engine re-executes it). Every WAL record is a
+    // consistent state boundary; replay applies each payload line.
+    emit(format_log_entry(entry) + "\n" + format_run_control(engine, entry.run));
+  } else {
+    emit(format_log_entry(entry));
+  }
+}
+
+void DurableSessionStore::on_control_change(const Engine& engine, RunId run) {
+  emit(format_run_control(engine, run));
+}
+
+Session DurableSessionStore::recover(RecoveryReport& report) const {
+  auto& m = durable_metrics();
+  m.recoveries.inc();
+  report = RecoveryReport{};
+
+  // 1. Newest snapshot generation that is both intact (checksums) and
+  // parseable (session checksum + grammar).
+  Session session;
+  bool have_session = false;
+  const auto& blobs = snapshots_.blobs();
+  for (auto it = blobs.rbegin(); it != blobs.rend(); ++it) {
+    auto decoded = storage::decode_snapshot(*it);
+    if (decoded.ok()) {
+      std::istringstream in(decoded.payload);
+      try {
+        session = load_session(in);
+        report.snapshot_generation = decoded.generation;
+        have_session = true;
+        break;
+      } catch (const std::exception&) {
+        // CRC-valid yet unparseable: count as a damaged generation.
+      }
+    }
+    ++report.snapshot_fallbacks;
+  }
+  if (!have_session) {
+    report.unrecoverable = true;
+    report.lost_updates = true;
+    m.unrecoverable.inc();
+    m.lost_updates.inc();
+    return Session{};
+  }
+
+  // 2. WAL scan: structural damage is data here, never an exception.
+  const auto scan = storage::scan_wal(wal_);
+  report.wal_error = scan.error;
+  if (!scan.error.ok()) {
+    // Any structural damage means at least one appended record did not
+    // survive to the scan (tear, flip, truncation): conservatively a
+    // lost update even when the tail happens to be reconstructible.
+    report.lost_updates = true;
+  }
+
+  // 3. The WAL must extend exactly the snapshot we recovered.
+  std::uint64_t base_generation = 0;
+  std::uint64_t base_log_size = 0;
+  bool have_base = false;
+  if (!scan.records.empty() &&
+      scan.records.front().type == storage::WalRecordType::kMeta) {
+    std::istringstream in(scan.records.front().payload);
+    std::string keyword;
+    std::string generation_token;
+    std::string size_token;
+    if ((in >> keyword >> generation_token >> size_token) &&
+        keyword == "base" && parse_int(generation_token, base_generation) &&
+        parse_int(size_token, base_log_size)) {
+      have_base = true;
+    }
+  }
+  if (!have_base || base_generation != report.snapshot_generation ||
+      base_log_size != session.engine->log().size()) {
+    report.wal_base_mismatch = true;
+    // The WAL extends a state that did not survive (typically a damaged
+    // newer snapshot generation). Whatever happened between the
+    // recovered snapshot and the WAL's base -- commits, control changes
+    // -- left no trace in this log, so losslessness cannot be claimed
+    // even when the WAL itself is empty.
+    report.lost_updates = true;
+    m.lost_updates.inc();
+    return session;
+  }
+
+  // 4. Idempotent replay: entries append in id order; duplicates (a
+  // retried append that landed twice) are skipped; an id gap means a
+  // record vanished between survivors -- stop, flag lost updates.
+  for (std::size_t i = 1; i < scan.records.size(); ++i) {
+    const auto& record = scan.records[i];
+    if (record.type == storage::WalRecordType::kSeal) break;
+    if (record.type == storage::WalRecordType::kMeta) {
+      // Only the base record (frame 0) is meaningful; a later meta is a
+      // duplicated base append -- detected, masked.
+      ++report.wal_duplicates_skipped;
+      continue;
+    }
+    // A record may carry several newline-separated lines (an original
+    // entry travels with its control state); the record is the atomic
+    // unit, its lines apply together.
+    bool record_ok = true;
+    bool duplicate = false;
+    std::istringstream lines(record.payload);
+    std::string line;
+    while (record_ok && std::getline(lines, line)) {
+      if (line.rfind("entry ", 0) == 0) {
+        TaskInstance entry;
+        try {
+          entry = parse_log_entry(line);
+        } catch (const std::exception&) {
+          record_ok = false;
+          break;
+        }
+        const auto next_id =
+            static_cast<InstanceId>(session.engine->log().size());
+        if (entry.id < next_id) {
+          duplicate = true;
+          continue;  // a retried append that landed twice; its control
+                     // line re-applies idempotently below
+        }
+        if (entry.id > next_id) {
+          // A record vanished between survivors: unreachable suffix.
+          report.lost_updates = true;
+          record_ok = false;
+          break;
+        }
+        try {
+          session.engine->import_entry(std::move(entry));
+        } catch (const std::exception&) {
+          record_ok = false;
+          break;
+        }
+      } else if (line.rfind("control", 0) == 0) {
+        if (!apply_run_control(*session.engine, line)) {
+          record_ok = false;
+          break;
+        }
+      } else {
+        record_ok = false;
+        break;
+      }
+    }
+    if (!record_ok) {
+      if (!report.lost_updates) report.wal_parse_failure = true;
+      report.lost_updates = true;
+      break;
+    }
+    if (duplicate) {
+      ++report.wal_duplicates_skipped;
+    } else {
+      ++report.wal_records_replayed;
+      m.replayed.inc();
+    }
+  }
+  if (report.lost_updates) m.lost_updates.inc();
+  return session;
+}
+
+}  // namespace selfheal::engine

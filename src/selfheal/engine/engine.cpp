@@ -136,6 +136,9 @@ void Engine::abort_run(RunId run_id) {
   Run& run = runs_.at(static_cast<std::size_t>(run_id));
   run.active = false;
   run.aborted = true;
+  if (durability_observer_) {
+    durability_observer_->on_control_change(*this, run_id);
+  }
 }
 
 bool Engine::run_aborted(RunId run) const {
@@ -187,6 +190,9 @@ void Engine::advance(std::size_t pick) {
   } else {
     run.active = false;  // end node reached
   }
+  // Fire after the pc/visits update: the observer's view of run control
+  // must already include this commit's consequences.
+  if (durability_observer_) durability_observer_->on_commit(*this, committed);
 }
 
 void Engine::run_all() {
@@ -311,22 +317,31 @@ InstanceId Engine::apply_undo(InstanceId target,
     entry.written_values.push_back(
         store_.restore_before(object, victim.seq, seq, id, skip_writer));
   }
-  return log_.append(std::move(entry));
+  const auto undo_id = log_.append(std::move(entry));
+  if (durability_observer_) {
+    durability_observer_->on_commit(*this, log_.entry(undo_id));
+  }
+  return undo_id;
 }
 
 InstanceId Engine::apply_redo(InstanceId target, SeqNo logical_slot,
                               const std::vector<Value>* read_values) {
   const auto& victim = log_.entry(target);
-  return execute(victim.run, victim.task, victim.incarnation, ActionKind::kRedo,
-                 target, logical_slot > 0 ? logical_slot : victim.logical_slot,
-                 read_values);
+  const auto id = execute(victim.run, victim.task, victim.incarnation,
+                          ActionKind::kRedo, target,
+                          logical_slot > 0 ? logical_slot : victim.logical_slot,
+                          read_values);
+  if (durability_observer_) durability_observer_->on_commit(*this, log_.entry(id));
+  return id;
 }
 
 InstanceId Engine::apply_fresh(RunId run, wfspec::TaskId task, int incarnation,
                                SeqNo logical_slot,
                                const std::vector<Value>* read_values) {
-  return execute(run, task, incarnation, ActionKind::kFresh, kInvalidInstance,
-                 logical_slot, read_values);
+  const auto id = execute(run, task, incarnation, ActionKind::kFresh,
+                          kInvalidInstance, logical_slot, read_values);
+  if (durability_observer_) durability_observer_->on_commit(*this, log_.entry(id));
+  return id;
 }
 
 InstanceId Engine::apply_repair(
@@ -342,7 +357,11 @@ InstanceId Engine::apply_repair(
     entry.written_values.push_back(value);
     store_.write(object, value, seq, id);
   }
-  return log_.append(std::move(entry));
+  const auto repair_id = log_.append(std::move(entry));
+  if (durability_observer_) {
+    durability_observer_->on_commit(*this, log_.entry(repair_id));
+  }
+  return repair_id;
 }
 
 Engine::RunSnapshot Engine::run_snapshot(RunId run_id) const {
@@ -385,6 +404,9 @@ void Engine::resume_run(RunId run_id, wfspec::TaskId pc,
   } else {
     run.pc = pc;
     run.active = true;
+  }
+  if (durability_observer_) {
+    durability_observer_->on_control_change(*this, run_id);
   }
 }
 

@@ -68,6 +68,25 @@ struct EngineConfig {
 using FaultInjector =
     std::function<TaskFault(RunId, wfspec::TaskId, int, int)>;
 
+class Engine;
+
+/// Observer of durable-relevant engine mutations: every log commit and
+/// every out-of-band run-control change. The durable session layer
+/// (engine/durable_session.hpp) implements this to mirror engine state
+/// into a write-ahead log between snapshots; anything the observer does
+/// not see cannot survive a crash.
+class DurabilityObserver {
+ public:
+  virtual ~DurabilityObserver() = default;
+  /// Fired after `entry` committed to the log (any ActionKind). For
+  /// original executions the run's control state (pc, visits, active)
+  /// has already advanced past the commit when this fires.
+  virtual void on_commit(const Engine& engine, const TaskInstance& entry) = 0;
+  /// Fired after a run's control state changed outside a normal commit
+  /// (resume_run, abort_run).
+  virtual void on_control_change(const Engine& engine, RunId run) = 0;
+};
+
 class Engine {
  public:
   explicit Engine(EngineConfig config = {});
@@ -80,6 +99,14 @@ class Engine {
   /// execution: its outputs (and branch choice) will be corrupted.
   /// Must be called before the task executes.
   void inject_malicious(RunId run, wfspec::TaskId task, int incarnation = 1);
+
+  /// Installs (or clears, with nullptr) the durability observer. The
+  /// pointer is borrowed: the observer must outlive the engine or be
+  /// cleared first. Fires on every log commit and every out-of-band run
+  /// control change; import_entry (restore) is deliberately silent.
+  void set_durability_observer(DurabilityObserver* observer) noexcept {
+    durability_observer_ = observer;
+  }
 
   /// Installs (or clears, with nullptr) the task fault injector. Each
   /// normal execution attempt consults it; kTransient faults retry per
@@ -222,6 +249,7 @@ class Engine {
   EngineConfig config_;
   util::Rng rng_;
   FaultInjector fault_injector_;
+  DurabilityObserver* durability_observer_ = nullptr;
   std::vector<Run> runs_;
   SystemLog log_;
   VersionedStore store_;

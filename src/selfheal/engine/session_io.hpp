@@ -8,8 +8,19 @@
 // including after a crash mid-workflow -- and recovery runs on the
 // reloaded engine exactly as on the original. The versioned store is
 // not serialised: it is reconstructed by re-applying the log's writes.
+//
+// Format version 3 appends a trailing "checksum <crc32c-hex>" line
+// covering every preceding byte, so storage-level damage to a session
+// file is detected instead of silently parsed. Version-2 files (no
+// checksum) still load. Files are written atomically
+// (temp + fsync + rename): a crash mid-save never leaves a torn file.
+//
+// load_session is hardened against hostile input: any malformed byte
+// stream raises std::invalid_argument with a line-numbered message --
+// never a crash, hang, or unbounded allocation.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -30,13 +41,25 @@ struct Session {
 
 /// Serialises the engine state: config, catalog, workflow DSL, runs
 /// (with control state), pending malicious injections, and the log.
+/// The stream form carries the same trailing checksum as the file form.
 void save_session(const Engine& engine, std::ostream& out);
+/// Atomic file save (temp + fsync + rename).
 void save_session_file(const Engine& engine, const std::string& path);
 
-/// Reconstructs a session from a stream produced by save_session.
-/// Throws std::invalid_argument with a line-numbered message on
-/// malformed input.
+/// Reconstructs a session from a stream produced by save_session
+/// (format version 2 or 3). Throws std::invalid_argument with a
+/// line-numbered message on malformed input.
 [[nodiscard]] Session load_session(std::istream& in);
 [[nodiscard]] Session load_session_file(const std::string& path);
+
+/// One log entry as its session line (leading "entry", no newline).
+/// This is also the WAL record payload format of the durable session
+/// layer, so a WAL replay and a session load parse identically.
+[[nodiscard]] std::string format_log_entry(const TaskInstance& entry);
+
+/// Parses a line produced by format_log_entry. `line_no` only labels
+/// the std::invalid_argument raised on malformed input.
+[[nodiscard]] TaskInstance parse_log_entry(const std::string& line,
+                                           std::size_t line_no = 0);
 
 }  // namespace selfheal::engine

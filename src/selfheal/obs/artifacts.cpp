@@ -1,9 +1,10 @@
 #include "selfheal/obs/artifacts.hpp"
 
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 #include <stdexcept>
+
+#include "selfheal/util/fsio.hpp"
 
 namespace selfheal::obs {
 
@@ -32,10 +33,9 @@ std::string escape(const std::string& in) {
 }
 
 void write_file(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
-  out << content;
-  if (!out) throw std::runtime_error("failed writing " + path);
+  // Metrics/trace artifacts are read by CI and dashboards: a crash
+  // mid-flush must leave the previous complete artifact, not a torn one.
+  util::write_file_atomic(path, content);
 }
 
 }  // namespace

@@ -1,0 +1,63 @@
+#include "selfheal/storage/crc32c.hpp"
+
+#include <array>
+
+namespace selfheal::storage {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+
+struct Tables {
+  // table[k][b]: CRC contribution of byte b seen k positions ahead.
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+
+  constexpr Tables() {
+    for (std::uint32_t b = 0; b < 256; ++b) {
+      std::uint32_t crc = b;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][b] = crc;
+    }
+    for (std::size_t k = 1; k < 8; ++k) {
+      for (std::uint32_t b = 0; b < 256; ++b) {
+        t[k][b] = (t[k - 1][b] >> 8) ^ t[0][t[k - 1][b] & 0xFFu];
+      }
+    }
+  }
+};
+
+constexpr Tables kTables{};
+
+}  // namespace
+
+std::uint32_t crc32c_update(std::uint32_t state, std::string_view data) noexcept {
+  const auto& t = kTables.t;
+  const auto* p = reinterpret_cast<const unsigned char*>(data.data());
+  std::size_t n = data.size();
+
+  // Slice-by-8 over aligned-enough middles; memcpy-free byte loads keep
+  // this UB-clean under UBSan (no type-punned reads).
+  while (n >= 8) {
+    const std::uint32_t lo = state ^ (static_cast<std::uint32_t>(p[0]) |
+                                      static_cast<std::uint32_t>(p[1]) << 8 |
+                                      static_cast<std::uint32_t>(p[2]) << 16 |
+                                      static_cast<std::uint32_t>(p[3]) << 24);
+    state = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+            t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^ t[3][p[4]] ^
+            t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    state = (state >> 8) ^ t[0][(state ^ *p++) & 0xFFu];
+  }
+  return state;
+}
+
+std::uint32_t crc32c(std::string_view data) noexcept {
+  return crc32c_finish(crc32c_update(crc32c_init(), data));
+}
+
+}  // namespace selfheal::storage

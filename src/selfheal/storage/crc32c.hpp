@@ -1,0 +1,31 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78):
+// the checksum protecting every WAL record and snapshot blob. Chosen
+// over CRC32 (IEEE) for its better error-detection properties on short
+// records -- the same choice ext4, btrfs, LevelDB and iSCSI made.
+//
+// Software slice-by-8 implementation (~1 byte/cycle): fast enough that
+// checksumming is never the WAL append bottleneck, with no dependency
+// on SSE4.2 intrinsics the build may not be allowed to assume.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace selfheal::storage {
+
+/// One-shot CRC32C of `data`.
+[[nodiscard]] std::uint32_t crc32c(std::string_view data) noexcept;
+
+/// Streaming interface: feed chunks through crc32c_update, starting from
+/// crc32c_init() and sealing with crc32c_finish. crc32c(data) ==
+/// crc32c_finish(crc32c_update(crc32c_init(), data)).
+[[nodiscard]] constexpr std::uint32_t crc32c_init() noexcept {
+  return 0xFFFFFFFFu;
+}
+[[nodiscard]] std::uint32_t crc32c_update(std::uint32_t state,
+                                          std::string_view data) noexcept;
+[[nodiscard]] constexpr std::uint32_t crc32c_finish(std::uint32_t state) noexcept {
+  return state ^ 0xFFFFFFFFu;
+}
+
+}  // namespace selfheal::storage

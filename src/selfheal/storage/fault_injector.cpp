@@ -1,0 +1,157 @@
+#include "selfheal/storage/fault_injector.hpp"
+
+#include <algorithm>
+
+#include "selfheal/obs/metrics.hpp"
+#include "selfheal/util/rng.hpp"
+
+namespace selfheal::storage {
+
+namespace {
+
+// Salts separating the fault draw from the position draws.
+constexpr std::uint64_t kDecideSalt = 0x5704a6e0fa017ULL;
+constexpr std::uint64_t kTearSalt = 0x7ea70c4a71ULL;
+constexpr std::uint64_t kFlipSalt = 0xf11b17f11bULL;
+constexpr std::uint64_t kChopSalt = 0xc40bc40bc4ULL;
+
+double hash_uniform(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+struct FaultMetrics {
+  obs::Counter& injected = obs::metrics().counter("storage.faults.injected");
+};
+
+FaultMetrics& fault_metrics() {
+  static FaultMetrics m;
+  return m;
+}
+
+}  // namespace
+
+const char* to_string(StorageFaultKind kind) {
+  switch (kind) {
+    case StorageFaultKind::kNone: return "none";
+    case StorageFaultKind::kTornWrite: return "torn_write";
+    case StorageFaultKind::kBitFlip: return "bit_flip";
+    case StorageFaultKind::kTruncation: return "truncation";
+    case StorageFaultKind::kDuplicateRecord: return "duplicate_record";
+    case StorageFaultKind::kCrashBeforeRename: return "crash_before_rename";
+  }
+  return "?";
+}
+
+StorageFaultKind StorageFaultInjector::decide(std::uint64_t op,
+                                              bool snapshot) const {
+  if (!config_.enabled()) return StorageFaultKind::kNone;
+  const std::uint64_t key =
+      util::mix64(seed_ ^ kDecideSalt, util::mix64(op, snapshot ? 1 : 2));
+  double u = hash_uniform(util::splitmix64(key));
+
+  const auto draw = [&u](double rate) {
+    if (u < rate) return true;
+    u -= rate;
+    return false;
+  };
+  if (draw(config_.torn_write_rate)) return StorageFaultKind::kTornWrite;
+  if (draw(config_.bit_flip_rate)) return StorageFaultKind::kBitFlip;
+  if (draw(config_.truncation_rate)) return StorageFaultKind::kTruncation;
+  if (!snapshot && draw(config_.duplicate_record_rate)) {
+    return StorageFaultKind::kDuplicateRecord;
+  }
+  if (snapshot && draw(config_.crash_before_rename_rate)) {
+    return StorageFaultKind::kCrashBeforeRename;
+  }
+  return StorageFaultKind::kNone;
+}
+
+std::size_t StorageFaultInjector::position(std::uint64_t op, std::uint64_t salt,
+                                           std::size_t n) const {
+  if (n == 0) return 0;
+  return static_cast<std::size_t>(
+      util::splitmix64(util::mix64(seed_ ^ salt, op)) % n);
+}
+
+StorageFaultKind StorageFaultInjector::on_wal_append(std::string& medium,
+                                                     std::string_view record,
+                                                     std::uint64_t op) {
+  const auto kind = decide(op, /*snapshot=*/false);
+  switch (kind) {
+    case StorageFaultKind::kNone:
+    case StorageFaultKind::kCrashBeforeRename:  // snapshot-only; not drawn here
+      medium.append(record);
+      return StorageFaultKind::kNone;
+    case StorageFaultKind::kTornWrite: {
+      // Persist a strict prefix: at least the frame is provably torn.
+      const std::size_t k = position(op, kTearSalt, record.size());
+      medium.append(record.substr(0, k));
+      ++counts_.torn_writes;
+      break;
+    }
+    case StorageFaultKind::kBitFlip: {
+      const std::size_t base = medium.size();
+      medium.append(record);
+      const std::size_t bit = position(op, kFlipSalt, record.size() * 8);
+      medium[base + bit / 8] =
+          static_cast<char>(medium[base + bit / 8] ^ (1u << (bit % 8)));
+      ++counts_.bit_flips;
+      break;
+    }
+    case StorageFaultKind::kTruncation: {
+      medium.append(record);
+      const std::size_t chop =
+          1 + position(op, kChopSalt, std::min<std::size_t>(record.size(), 32));
+      medium.resize(medium.size() - chop);
+      ++counts_.truncations;
+      break;
+    }
+    case StorageFaultKind::kDuplicateRecord: {
+      medium.append(record);
+      medium.append(record);
+      ++counts_.duplicate_records;
+      break;
+    }
+  }
+  fault_metrics().injected.inc();
+  return kind;
+}
+
+StorageFaultKind StorageFaultInjector::on_snapshot_write(std::string& blob,
+                                                         std::uint64_t op) {
+  const auto kind = decide(op, /*snapshot=*/true);
+  switch (kind) {
+    case StorageFaultKind::kNone:
+    case StorageFaultKind::kDuplicateRecord:  // append-only; not drawn here
+      return StorageFaultKind::kNone;
+    case StorageFaultKind::kTornWrite: {
+      // Models a missing data fsync: the rename became durable against a
+      // partially written temp file.
+      blob.resize(position(op, kTearSalt, blob.size()));
+      ++counts_.torn_writes;
+      break;
+    }
+    case StorageFaultKind::kBitFlip: {
+      const std::size_t bit = position(op, kFlipSalt, blob.size() * 8);
+      blob[bit / 8] = static_cast<char>(blob[bit / 8] ^ (1u << (bit % 8)));
+      ++counts_.bit_flips;
+      break;
+    }
+    case StorageFaultKind::kTruncation: {
+      const std::size_t chop =
+          1 + position(op, kChopSalt, std::min<std::size_t>(blob.size(), 32));
+      blob.resize(blob.size() - chop);
+      ++counts_.truncations;
+      break;
+    }
+    case StorageFaultKind::kCrashBeforeRename: {
+      blob.clear();
+      ++counts_.crashes_before_rename;
+      break;
+    }
+  }
+  fault_metrics().injected.inc();
+  return kind;
+}
+
+}  // namespace selfheal::storage

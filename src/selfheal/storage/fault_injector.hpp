@@ -1,0 +1,109 @@
+// Seeded storage-level fault injection for the chaos harness.
+//
+// Models the ways real disks betray a write-ahead log and its
+// snapshots:
+//
+//   * torn write          -- a crash mid-append persists only the first
+//                            k bytes of the record frame;
+//   * bit flip            -- media decay / cosmic ray flips one bit of
+//                            what was written;
+//   * truncation          -- a lost tail sector chops bytes off the end;
+//   * duplicated record   -- a retried append lands twice (the client
+//                            saw a timeout, the disk saw both);
+//   * crash before rename -- an atomic snapshot replace crashes after
+//                            writing the temp file but before rename(2):
+//                            the new generation simply never appears.
+//
+// Like chaos::TaskFaultPlan, every decision is a STATELESS hash of
+// (seed, operation kind, operation index): the same seed produces the
+// same damage pattern regardless of call order, which is the chaos
+// determinism contract. The injector mutates in-memory media (byte
+// strings) surgically, and keeps ground-truth counts so campaigns can
+// prove that no injected fault went unreported.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace selfheal::storage {
+
+enum class StorageFaultKind {
+  kNone,
+  kTornWrite,
+  kBitFlip,
+  kTruncation,
+  kDuplicateRecord,
+  kCrashBeforeRename,
+};
+
+[[nodiscard]] const char* to_string(StorageFaultKind kind);
+
+struct StorageFaultConfig {
+  /// Per-operation probabilities; at most one fault fires per operation.
+  double torn_write_rate = 0.0;
+  double bit_flip_rate = 0.0;
+  double truncation_rate = 0.0;
+  /// WAL appends only.
+  double duplicate_record_rate = 0.0;
+  /// Snapshot writes only.
+  double crash_before_rename_rate = 0.0;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return torn_write_rate > 0.0 || bit_flip_rate > 0.0 ||
+           truncation_rate > 0.0 || duplicate_record_rate > 0.0 ||
+           crash_before_rename_rate > 0.0;
+  }
+};
+
+/// Ground truth of what was injected (for never-silent assertions).
+struct StorageFaultCounts {
+  std::size_t torn_writes = 0;
+  std::size_t bit_flips = 0;
+  std::size_t truncations = 0;
+  std::size_t duplicate_records = 0;
+  std::size_t crashes_before_rename = 0;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return torn_writes + bit_flips + truncations + duplicate_records +
+           crashes_before_rename;
+  }
+};
+
+class StorageFaultInjector {
+ public:
+  StorageFaultInjector(std::uint64_t seed, StorageFaultConfig config)
+      : seed_(seed), config_(config) {}
+
+  /// Applies `record` (an encoded WAL frame) to `medium` under the fault
+  /// drawn for operation `op`; returns what happened. Fault positions
+  /// (tear point, flipped bit, truncated length) are themselves stateless
+  /// hashes of (seed, op).
+  StorageFaultKind on_wal_append(std::string& medium, std::string_view record,
+                                 std::uint64_t op);
+
+  /// Damages (or drops) a freshly encoded snapshot blob in place.
+  /// kCrashBeforeRename clears the blob: the old generation remains the
+  /// newest visible one.
+  StorageFaultKind on_snapshot_write(std::string& blob, std::uint64_t op);
+
+  [[nodiscard]] const StorageFaultCounts& counts() const noexcept {
+    return counts_;
+  }
+  [[nodiscard]] const StorageFaultConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  [[nodiscard]] StorageFaultKind decide(std::uint64_t op, bool snapshot) const;
+  /// Deterministic position draw in [0, n) for operation `op`.
+  [[nodiscard]] std::size_t position(std::uint64_t op, std::uint64_t salt,
+                                     std::size_t n) const;
+
+  std::uint64_t seed_;
+  StorageFaultConfig config_;
+  StorageFaultCounts counts_;
+};
+
+}  // namespace selfheal::storage

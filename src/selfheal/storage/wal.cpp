@@ -1,0 +1,280 @@
+#include "selfheal/storage/wal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "selfheal/obs/metrics.hpp"
+#include "selfheal/storage/crc32c.hpp"
+#include "selfheal/util/fsio.hpp"
+
+namespace selfheal::storage {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'H', 'W', 'A', 'L', 'v', '1', '\0'};
+
+struct WalMetrics {
+  obs::Counter& appends = obs::metrics().counter("storage.wal.appends");
+  obs::Counter& append_bytes = obs::metrics().counter("storage.wal.append_bytes");
+  obs::Counter& seals = obs::metrics().counter("storage.wal.seals");
+  obs::Counter& scans = obs::metrics().counter("storage.wal.scans");
+  obs::Counter& records_scanned =
+      obs::metrics().counter("storage.wal.records_scanned");
+  obs::Counter& torn_tails = obs::metrics().counter("storage.wal.torn_tails");
+  obs::Counter& mid_log_corruptions =
+      obs::metrics().counter("storage.wal.mid_log_corruptions");
+  obs::Counter& header_errors =
+      obs::metrics().counter("storage.wal.header_errors");
+};
+
+WalMetrics& wal_metrics() {
+  static WalMetrics m;
+  return m;
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+std::uint32_t get_u32(std::string_view in, std::size_t at) {
+  const auto b = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(in[at + i]));
+  };
+  return b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+}
+
+bool known_type(std::uint8_t type) {
+  return type == static_cast<std::uint8_t>(WalRecordType::kData) ||
+         type == static_cast<std::uint8_t>(WalRecordType::kMeta) ||
+         type == static_cast<std::uint8_t>(WalRecordType::kSeal);
+}
+
+}  // namespace
+
+const char* to_string(WalErrorKind kind) {
+  switch (kind) {
+    case WalErrorKind::kNone: return "none";
+    case WalErrorKind::kTruncatedHeader: return "truncated header";
+    case WalErrorKind::kBadMagic: return "bad magic";
+    case WalErrorKind::kBadVersion: return "unknown format version";
+    case WalErrorKind::kBadHeaderCrc: return "header checksum mismatch";
+    case WalErrorKind::kTornTail: return "torn tail";
+    case WalErrorKind::kMidLogCorruption: return "mid-log corruption";
+    case WalErrorKind::kImplausibleLength: return "implausible record length";
+    case WalErrorKind::kTrailingData: return "data after seal";
+    case WalErrorKind::kUnknownRecordType: return "unknown record type";
+  }
+  return "?";
+}
+
+std::string WalError::message() const {
+  if (ok()) return "ok";
+  return std::string(to_string(kind)) + " at byte " + std::to_string(offset) +
+         " (record " + std::to_string(record_index) + ")";
+}
+
+std::string wal_header() {
+  std::string out(kMagic, sizeof(kMagic));
+  put_u32(out, kWalVersion);
+  put_u32(out, crc32c(out));
+  return out;
+}
+
+std::string encode_wal_record(WalRecordType type, std::string_view payload) {
+  std::string framed;
+  framed.reserve(kWalFrameOverhead + payload.size());
+  put_u32(framed, static_cast<std::uint32_t>(payload.size()));
+  std::string body;
+  body.reserve(1 + payload.size());
+  body.push_back(static_cast<char>(type));
+  body.append(payload);
+  put_u32(framed, crc32c(body));
+  framed.append(body);
+  return framed;
+}
+
+void wal_append(std::string& wal, WalRecordType type, std::string_view payload) {
+  auto& m = wal_metrics();
+  m.appends.inc();
+  m.append_bytes.inc(kWalFrameOverhead + payload.size());
+  wal.append(encode_wal_record(type, payload));
+}
+
+void wal_seal(std::string& wal) {
+  wal_metrics().seals.inc();
+  wal.append(encode_wal_record(WalRecordType::kSeal, {}));
+}
+
+WalScan scan_wal(std::string_view wal) {
+  auto& m = wal_metrics();
+  m.scans.inc();
+  WalScan scan;
+
+  // --- header ---
+  if (wal.size() < kWalHeaderSize) {
+    scan.error.kind = WalErrorKind::kTruncatedHeader;
+    m.header_errors.inc();
+    return scan;
+  }
+  if (std::memcmp(wal.data(), kMagic, sizeof(kMagic)) != 0) {
+    scan.error.kind = WalErrorKind::kBadMagic;
+    m.header_errors.inc();
+    return scan;
+  }
+  if (crc32c(wal.substr(0, 12)) != get_u32(wal, 12)) {
+    scan.error.kind = WalErrorKind::kBadHeaderCrc;
+    scan.error.offset = 12;
+    m.header_errors.inc();
+    return scan;
+  }
+  if (get_u32(wal, 8) != kWalVersion) {
+    scan.error.kind = WalErrorKind::kBadVersion;
+    scan.error.offset = 8;
+    m.header_errors.inc();
+    return scan;
+  }
+  scan.valid_bytes = kWalHeaderSize;
+
+  // --- record frames ---
+  std::size_t at = kWalHeaderSize;
+  while (at < wal.size()) {
+    scan.error.offset = at;
+    scan.error.record_index = scan.records.size();
+    if (scan.sealed) {
+      scan.error.kind = WalErrorKind::kTrailingData;
+      m.mid_log_corruptions.inc();
+      return scan;
+    }
+    // Frame header complete?
+    if (wal.size() - at < kWalFrameOverhead) {
+      scan.error.kind = WalErrorKind::kTornTail;
+      m.torn_tails.inc();
+      return scan;
+    }
+    const std::size_t len = get_u32(wal, at);
+    const std::uint32_t want_crc = get_u32(wal, at + 4);
+    if (len > kWalMaxRecordLen) {
+      // A corrupted length field: cannot even tell where the next frame
+      // would start, so nothing beyond this point is reachable.
+      scan.error.kind = WalErrorKind::kImplausibleLength;
+      m.mid_log_corruptions.inc();
+      return scan;
+    }
+    const std::size_t frame_end = at + kWalFrameOverhead + len;
+    if (frame_end > wal.size()) {
+      scan.error.kind = WalErrorKind::kTornTail;
+      m.torn_tails.inc();
+      return scan;
+    }
+    const std::string_view body = wal.substr(at + 8, 1 + len);
+    if (crc32c(body) != want_crc) {
+      // CRC failure at the very tail is a torn append (truncate and
+      // carry on); with live bytes after the frame it is body damage.
+      if (frame_end == wal.size()) {
+        scan.error.kind = WalErrorKind::kTornTail;
+        m.torn_tails.inc();
+      } else {
+        scan.error.kind = WalErrorKind::kMidLogCorruption;
+        m.mid_log_corruptions.inc();
+      }
+      return scan;
+    }
+    const auto type = static_cast<std::uint8_t>(body[0]);
+    if (!known_type(type)) {
+      scan.error.kind = WalErrorKind::kUnknownRecordType;
+      m.mid_log_corruptions.inc();
+      return scan;
+    }
+    if (static_cast<WalRecordType>(type) == WalRecordType::kSeal) {
+      scan.sealed = true;
+    } else {
+      WalRecord record;
+      record.type = static_cast<WalRecordType>(type);
+      record.payload.assign(body.substr(1));
+      record.offset = at;
+      scan.records.push_back(std::move(record));
+      m.records_scanned.inc();
+    }
+    at = frame_end;
+    scan.valid_bytes = at;
+  }
+  scan.error = WalError{};  // clean walk: clear the probe offsets
+  scan.error.record_index = scan.records.size();
+  scan.error.offset = scan.valid_bytes;
+  return scan;
+}
+
+WalFile::WalFile(std::string path) : path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("WalFile: cannot create " + path_ + ": " +
+                             std::strerror(errno));
+  }
+  const auto header = wal_header();
+  std::size_t written = 0;
+  while (written < header.size()) {
+    const ssize_t n =
+        ::write(fd_, header.data() + written, header.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("WalFile: header write failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+WalFile::~WalFile() { close(); }
+
+void WalFile::append(WalRecordType type, std::string_view payload) {
+  if (fd_ < 0) throw std::logic_error("WalFile: append after close");
+  auto& m = wal_metrics();
+  m.appends.inc();
+  m.append_bytes.inc(kWalFrameOverhead + payload.size());
+  const auto framed = encode_wal_record(type, payload);
+  std::size_t written = 0;
+  while (written < framed.size()) {
+    const ssize_t n =
+        ::write(fd_, framed.data() + written, framed.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("WalFile: append failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+void WalFile::sync() {
+  if (fd_ < 0) return;
+  if (::fsync(fd_) != 0) {
+    throw std::runtime_error("WalFile: fsync failed: " +
+                             std::string(std::strerror(errno)));
+  }
+}
+
+void WalFile::seal() {
+  wal_metrics().seals.inc();
+  append(WalRecordType::kSeal, {});
+  sync();
+}
+
+void WalFile::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+WalScan scan_wal_file(const std::string& path) {
+  return scan_wal(util::read_file(path));
+}
+
+}  // namespace selfheal::storage

@@ -1,0 +1,148 @@
+// Record-framed, checksummed write-ahead log.
+//
+// Layout (all integers little-endian):
+//
+//   header (16 bytes)
+//     0..7    magic "SHWALv1\0"
+//     8..11   u32 format version (kWalVersion)
+//     12..15  u32 CRC32C of bytes 0..11
+//   record frame (9 + n bytes, repeated)
+//     u32 payload length n
+//     u32 CRC32C over [type byte || payload]
+//     u8  record type (data / meta / seal)
+//     n   payload bytes (arbitrary binary, newlines and NULs included)
+//
+// A seal record (empty payload) marks a clean close; nothing may follow
+// it. The recovery scan walks frames sequentially and classifies any
+// damage it finds:
+//
+//   * torn tail -- the FINAL frame is incomplete or fails its CRC with
+//     no bytes beyond its declared extent: the classic crash-mid-append.
+//     The scan truncates it cleanly; every prior record is intact and
+//     the log is usable (WalError::recoverable()).
+//   * mid-log corruption -- a frame fails its CRC (or declares an
+//     implausible length) with MORE bytes after it: a flipped bit or
+//     lost sector inside the log body. Records before the damage are
+//     returned; everything after it is unreachable (frames are
+//     sequential) and must be repaired from snapshot + replay.
+//   * bad header -- magic/version/header-CRC damage: nothing in the file
+//     can be trusted.
+//
+// Append and scan are pure byte-string operations so the chaos harness
+// can hold the "disk" in memory and corrupt it surgically; WalFile wraps
+// the same framing around an fsync-able file for real deployments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace selfheal::storage {
+
+inline constexpr std::uint32_t kWalVersion = 1;
+inline constexpr std::size_t kWalHeaderSize = 16;
+inline constexpr std::size_t kWalFrameOverhead = 9;  // len + crc + type
+/// Records beyond this length are implausible (the framing would happily
+/// carry them, but a corrupted length field must not make the scan chase
+/// gigabytes of garbage).
+inline constexpr std::size_t kWalMaxRecordLen = 16u << 20;
+
+enum class WalRecordType : std::uint8_t {
+  kData = 1,  // caller payload
+  kMeta = 2,  // log-level metadata (e.g. snapshot base of a session WAL)
+  kSeal = 3,  // clean close; empty payload; nothing may follow
+};
+
+enum class WalErrorKind {
+  kNone,
+  kTruncatedHeader,   // shorter than a header
+  kBadMagic,          // header magic mismatch
+  kBadVersion,        // unknown format version
+  kBadHeaderCrc,      // header checksum mismatch
+  kTornTail,          // incomplete/corrupt final frame (recoverable)
+  kMidLogCorruption,  // corrupt frame with live bytes beyond it
+  kImplausibleLength, // length field beyond kWalMaxRecordLen
+  kTrailingData,      // bytes after a seal record
+  kUnknownRecordType, // frame CRC valid but type byte unrecognised
+};
+
+[[nodiscard]] const char* to_string(WalErrorKind kind);
+
+/// Structured scan damage report: what went wrong, where.
+struct WalError {
+  WalErrorKind kind = WalErrorKind::kNone;
+  std::size_t offset = 0;        // byte offset of the damaged frame/field
+  std::size_t record_index = 0;  // records successfully scanned before it
+
+  [[nodiscard]] bool ok() const noexcept { return kind == WalErrorKind::kNone; }
+  /// True iff the log prefix is fully intact and usable after truncating
+  /// at `offset` (torn tail only).
+  [[nodiscard]] bool recoverable() const noexcept {
+    return kind == WalErrorKind::kTornTail;
+  }
+  [[nodiscard]] std::string message() const;
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kData;
+  std::string payload;
+  std::size_t offset = 0;  // byte offset of the record's frame
+};
+
+struct WalScan {
+  std::vector<WalRecord> records;  // intact records, in append order
+  bool sealed = false;
+  WalError error;
+  /// Length of the clean prefix (header + intact frames). A torn tail is
+  /// repaired by truncating the log to this many bytes.
+  std::size_t valid_bytes = 0;
+};
+
+/// A fresh, empty WAL: just the checksummed header.
+[[nodiscard]] std::string wal_header();
+
+/// One encoded record frame (for appends and for tests that need to
+/// build corrupt logs byte by byte).
+[[nodiscard]] std::string encode_wal_record(WalRecordType type,
+                                            std::string_view payload);
+
+/// Appends a record frame to the in-memory log.
+void wal_append(std::string& wal, WalRecordType type, std::string_view payload);
+
+/// Appends the seal record marking a clean close.
+void wal_seal(std::string& wal);
+
+/// Walks the log and returns every intact record plus a structured
+/// verdict on any damage. Never throws: corrupt input is data, not an
+/// exception.
+[[nodiscard]] WalScan scan_wal(std::string_view wal);
+
+/// File-backed append-only WAL with the same framing. Appends are
+/// buffered by the OS; sync() makes everything appended so far durable.
+class WalFile {
+ public:
+  /// Creates (truncates) `path` and writes the header.
+  explicit WalFile(std::string path);
+  ~WalFile();
+  WalFile(const WalFile&) = delete;
+  WalFile& operator=(const WalFile&) = delete;
+
+  void append(WalRecordType type, std::string_view payload);
+  void sync();
+  /// Appends the seal record and fsyncs.
+  void seal();
+  void close();
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// Reads and scans a file-backed WAL. Missing file throws
+/// std::runtime_error; corrupt content is reported via WalScan::error.
+[[nodiscard]] WalScan scan_wal_file(const std::string& path);
+
+}  // namespace selfheal::storage

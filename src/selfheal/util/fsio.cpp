@@ -1,0 +1,80 @@
+#include "selfheal/util/fsio.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace selfheal::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& step, const std::string& path) {
+  throw std::runtime_error("write_file_atomic: " + step + " failed for " +
+                           path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("open", tmp);
+
+  std::size_t written = 0;
+  while (written < content.size()) {
+    const ssize_t n =
+        ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      fail("write", tmp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+
+  // The fsync before rename is the crash-consistency linchpin: without
+  // it the rename can become durable before the data, and a crash
+  // exposes a complete-looking file full of garbage.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail("fsync", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    fail("close", tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail("rename", path);
+  }
+
+  // Durable directory entry: best-effort fsync of the parent directory
+  // (failure here means the rename may be lost on power loss, but the
+  // target is still never a hybrid -- don't fail the write over it).
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    (void)::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_file: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) throw std::runtime_error("read_file: read error on " + path);
+  return buffer.str();
+}
+
+}  // namespace selfheal::util

@@ -1,0 +1,29 @@
+// Crash-safe file primitives.
+//
+// Plain `ofstream << content` leaves a half-written file if the process
+// dies mid-write (or the disk fills): the target is truncated first and
+// filled after. Every durable artifact in this repository (sessions,
+// bench --json-out, obs metrics/trace files) instead goes through
+// write_file_atomic: write a temp file in the same directory, flush and
+// fsync it, then rename(2) over the target. POSIX rename is atomic, so
+// at every byte boundary the target is either the complete old content
+// or the complete new content -- never a hybrid.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace selfheal::util {
+
+/// Atomically replaces `path` with `content` (temp + fsync + rename).
+/// On failure the target is untouched, the temp file is removed, and a
+/// std::runtime_error describes the failing step. Single-writer: the
+/// temp name is derived from `path`, so two concurrent writers to the
+/// same path race (as they would on the target itself).
+void write_file_atomic(const std::string& path, std::string_view content);
+
+/// Reads a whole file into a string; throws std::runtime_error if the
+/// file cannot be opened or read.
+[[nodiscard]] std::string read_file(const std::string& path);
+
+}  // namespace selfheal::util

@@ -255,6 +255,66 @@ TEST(ChaosCampaign, SuiteSweepAllStrictCorrect) {
   EXPECT_EQ(suite.to_json("chaos_campaign"), again.to_json("chaos_campaign"));
 }
 
+TEST(ChaosStorage, CampaignsSurviveCorruptedMedia) {
+  // Fault class 4: crash/restart routed through the durable storage
+  // layer while a seeded injector damages every media write. Campaigns
+  // must still end strict-correct (or fail loudly) -- and at least one
+  // campaign in the sweep must actually have seen damage, or the sweep
+  // proved nothing.
+  std::size_t damaged = 0;
+  std::size_t injected = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto result =
+        chaos::run_campaign(chaos::default_storage_campaign(seed));
+    EXPECT_TRUE(result.passed()) << "seed " << seed << ": " << result.failure;
+    EXPECT_TRUE(result.storage_enabled);
+    EXPECT_TRUE(result.no_silent_corruption) << "seed " << seed;
+    EXPECT_FALSE(result.storage_unrecoverable) << "seed " << seed;
+    EXPECT_GT(result.storage_recoveries, 0u)
+        << "seed " << seed << ": final probe must always recover once";
+    damaged += result.storage_damaged_recoveries;
+    injected += result.storage_injected.total();
+  }
+  EXPECT_GT(injected, 0u);
+  EXPECT_GT(damaged, 0u);
+}
+
+TEST(ChaosStorage, CampaignIsDeterministic) {
+  const auto config = chaos::default_storage_campaign(3);
+  const auto once = chaos::run_campaign(config);
+  const auto twice = chaos::run_campaign(config);
+  EXPECT_TRUE(once.passed()) << once.failure;
+  EXPECT_EQ(once.to_json(), twice.to_json());
+  EXPECT_NE(once.to_json().find("\"storage\""), std::string::npos);
+}
+
+TEST(ChaosStorage, SuiteIsByteIdenticalAcrossThreadCounts) {
+  const auto base = chaos::default_storage_campaign(1);
+  const auto serial = chaos::run_campaigns(1, 8, base, 1);
+  const auto parallel = chaos::run_campaigns(1, 8, base, 4);
+  EXPECT_TRUE(serial.all_passed());
+  EXPECT_EQ(serial.to_json("chaos_campaign --storage-faults"),
+            parallel.to_json("chaos_campaign --storage-faults"));
+}
+
+TEST(ChaosStorage, DisablingStorageFaultsChangesNothingElse) {
+  // Stream independence: the storage fault class draws from its own
+  // salted stream, so enabling it must not shift IDS or task-fault
+  // decisions of the same seed.
+  auto with_storage = chaos::default_storage_campaign(7);
+  auto without = with_storage;
+  without.storage = chaos::StorageChaosConfig{};
+  const auto a = chaos::run_campaign(with_storage);
+  const auto b = chaos::run_campaign(without);
+  EXPECT_TRUE(a.passed()) << a.failure;
+  EXPECT_TRUE(b.passed()) << b.failure;
+  EXPECT_EQ(a.ids_stats.false_positives, b.ids_stats.false_positives);
+  EXPECT_EQ(a.ids_stats.missed, b.ids_stats.missed);
+  EXPECT_EQ(a.transient_faults, b.transient_faults);
+  EXPECT_EQ(a.permanent_faults, b.permanent_faults);
+  EXPECT_EQ(a.alerts_delivered, b.alerts_delivered);
+}
+
 TEST(ChaosCampaign, ReportListsFailingSeedRepro) {
   chaos::CampaignSuite suite;
   chaos::CampaignResult bad;

@@ -6,13 +6,17 @@
 // analyzer/scheduler invariants of Theorems 1-2 must hold.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
+#include <sstream>
 
+#include "selfheal/engine/session_io.hpp"
 #include "selfheal/recovery/analyzer.hpp"
 #include "selfheal/recovery/controller.hpp"
 #include "selfheal/recovery/correctness.hpp"
 #include "selfheal/recovery/scheduler.hpp"
 #include "selfheal/sim/workload.hpp"
+#include "selfheal/util/rng.hpp"
 
 namespace {
 
@@ -290,5 +294,93 @@ TEST_P(IncrementalConsistency, RefreshedGraphMatchesRebuildAcrossCycles) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalConsistency,
                          ::testing::Range<std::uint64_t>(1, 21));
+
+class SerialisationProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerialisationProperty, LogEntriesRoundTripExtremeValues) {
+  // The log-entry text format is the carrier for every durable value
+  // (session files AND WAL records): arbitrary 64-bit payloads --
+  // extremes, negatives, zero -- must round-trip exactly.
+  util::Rng rng(GetParam());
+  const engine::Value extremes[] = {
+      std::numeric_limits<engine::Value>::min(),
+      std::numeric_limits<engine::Value>::max(),
+      0,
+      -1,
+      1,
+      static_cast<engine::Value>(rng()),
+  };
+  for (int trial = 0; trial < 40; ++trial) {
+    engine::TaskInstance e;
+    e.id = static_cast<engine::InstanceId>(rng.below(1u << 20));
+    e.run = static_cast<engine::RunId>(rng.below(64));
+    e.task = static_cast<wfspec::TaskId>(rng.below(256));
+    e.incarnation = static_cast<int>(1 + rng.below(8));
+    const engine::ActionKind kinds[] = {
+        engine::ActionKind::kNormal, engine::ActionKind::kMalicious,
+        engine::ActionKind::kUndo,   engine::ActionKind::kRedo,
+        engine::ActionKind::kFresh,
+    };
+    e.kind = kinds[rng.below(5)];
+    e.seq = static_cast<engine::SeqNo>(rng.below(1u << 20));
+    e.logical_slot = static_cast<engine::SeqNo>(rng.below(1u << 20));
+    e.target = static_cast<engine::InstanceId>(rng.below(1u << 20));
+    const auto n_reads = rng.below(6);
+    for (std::uint64_t i = 0; i < n_reads; ++i) {
+      e.read_objects.push_back(static_cast<wfspec::ObjectId>(rng.below(512)));
+      e.read_values.push_back(
+          extremes[rng.below(std::size(extremes))]);
+    }
+    const auto n_writes = rng.below(6);
+    for (std::uint64_t i = 0; i < n_writes; ++i) {
+      e.written_objects.push_back(static_cast<wfspec::ObjectId>(rng.below(512)));
+      e.written_values.push_back(
+          extremes[rng.below(std::size(extremes))]);
+    }
+    if (rng.chance(0.5)) {
+      e.chosen_successor = static_cast<wfspec::TaskId>(rng.below(256));
+    }
+
+    const auto line = engine::format_log_entry(e);
+    const auto back = engine::parse_log_entry(line);
+    EXPECT_EQ(back.id, e.id);
+    EXPECT_EQ(back.run, e.run);
+    EXPECT_EQ(back.task, e.task);
+    EXPECT_EQ(back.incarnation, e.incarnation);
+    EXPECT_EQ(back.kind, e.kind);
+    EXPECT_EQ(back.seq, e.seq);
+    EXPECT_EQ(back.logical_slot, e.logical_slot);
+    EXPECT_EQ(back.target, e.target);
+    EXPECT_EQ(back.read_objects, e.read_objects);
+    EXPECT_EQ(back.read_values, e.read_values);
+    EXPECT_EQ(back.written_objects, e.written_objects);
+    EXPECT_EQ(back.written_values, e.written_values);
+    EXPECT_EQ(back.chosen_successor, e.chosen_successor);
+    // And formatting the parse is a fixed point.
+    EXPECT_EQ(engine::format_log_entry(back), line);
+  }
+}
+
+TEST_P(SerialisationProperty, SessionSaveLoadIsByteIdentical) {
+  // Full-session property: save -> load -> save is byte-identical for
+  // random attacked-and-recovered scenarios.
+  auto scenario =
+      sim::make_attack_scenario(GetParam(), /*n_workflows=*/3, /*n_attacks=*/2);
+  auto& eng = *scenario.engine;
+  recovery::RecoveryScheduler scheduler(eng);
+  scheduler.execute(
+      recovery::RecoveryAnalyzer(eng).analyze(scenario.malicious));
+
+  std::stringstream first;
+  engine::save_session(eng, first);
+  const auto text = first.str();
+  const auto session = engine::load_session(first);
+  std::stringstream second;
+  engine::save_session(*session.engine, second);
+  EXPECT_EQ(second.str(), text) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerialisationProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
 
 }  // namespace

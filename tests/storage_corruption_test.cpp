@@ -1,0 +1,320 @@
+// Storage-level corruption against the durable session store: every
+// seeded fault scenario must recover either byte-identically or with an
+// EXPLICIT degradation report -- a silent wrong answer is the one
+// outcome that must never happen, no matter what the media did.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "selfheal/engine/durable_session.hpp"
+#include "selfheal/engine/session_io.hpp"
+#include "selfheal/recovery/analyzer.hpp"
+#include "selfheal/recovery/scheduler.hpp"
+#include "selfheal/sim/workload.hpp"
+#include "selfheal/storage/fault_injector.hpp"
+
+namespace {
+
+using namespace selfheal;
+using storage::StorageFaultKind;
+
+std::string session_text(const engine::Engine& eng) {
+  std::ostringstream out;
+  engine::save_session(eng, out);
+  return out.str();
+}
+
+/// Runs one attack scenario with the durable store mirroring recovery
+/// under `faults`, then recovers from the (possibly damaged) media and
+/// enforces the never-silent contract against the live engine.
+void run_scenario(std::uint64_t seed, const storage::StorageFaultConfig& faults,
+                  storage::StorageFaultCounts& injected_total,
+                  std::size_t& lossless_count, std::size_t& lossy_count) {
+  auto scenario = sim::make_attack_scenario(seed % 8 + 1, 3, 2);
+  auto& eng = *scenario.engine;
+
+  engine::DurableSessionStore store;
+  store.checkpoint(eng);  // pristine initial checkpoint
+  storage::StorageFaultInjector injector(seed, faults);
+  store.set_fault_injector(&injector);
+  eng.set_durability_observer(&store);
+
+  recovery::RecoveryScheduler scheduler(eng);
+  scheduler.execute(recovery::RecoveryAnalyzer(eng).analyze(scenario.malicious));
+  // A mid-life re-checkpoint with the injector armed, so snapshot-write
+  // faults (rename crashes, torn snapshot blobs) get exercised too.
+  store.checkpoint(eng);
+  eng.set_durability_observer(nullptr);
+
+  engine::RecoveryReport report;
+  const auto recovered = store.recover(report);
+  // The initial checkpoint was written pristine, so generation 1 always
+  // survives: recovery can degrade but never come up empty.
+  ASSERT_FALSE(report.unrecoverable) << "seed " << seed;
+  ASSERT_NE(recovered.engine, nullptr) << "seed " << seed;
+
+  if (report.lossless()) {
+    // Claimed lossless: the recovered session must be byte-identical to
+    // the live one. Anything else is silent corruption.
+    EXPECT_EQ(session_text(*recovered.engine), session_text(eng))
+        << "seed " << seed << " SILENT CORRUPTION (" << report.summary()
+        << ", injected " << injector.counts().total() << " faults)";
+    ++lossless_count;
+  } else {
+    // Explicit degradation: legal, but it must not be gratuitous.
+    EXPECT_GT(injector.counts().total(), 0u)
+        << "seed " << seed << " claimed loss on pristine media ("
+        << report.summary() << ")";
+    ++lossy_count;
+  }
+  if (injector.counts().total() == 0) {
+    EXPECT_TRUE(report.clean()) << "seed " << seed << ": " << report.summary();
+  }
+
+  const auto& c = injector.counts();
+  injected_total.torn_writes += c.torn_writes;
+  injected_total.bit_flips += c.bit_flips;
+  injected_total.truncations += c.truncations;
+  injected_total.duplicate_records += c.duplicate_records;
+  injected_total.crashes_before_rename += c.crashes_before_rename;
+}
+
+TEST(StorageCorruption, NoSilentCorruptionAcross250Scenarios) {
+  // 5 fault kinds x 50 seeds; each batch drives ONE kind hard so every
+  // damage class is exercised in isolation (plus whatever the decide
+  // hash mixes in -- at most one fault fires per operation).
+  struct Batch {
+    const char* name;
+    storage::StorageFaultConfig faults;
+  };
+  std::vector<Batch> batches(5);
+  batches[0] = {"torn", {}};
+  batches[0].faults.torn_write_rate = 0.3;
+  batches[1] = {"flip", {}};
+  batches[1].faults.bit_flip_rate = 0.3;
+  batches[2] = {"truncate", {}};
+  batches[2].faults.truncation_rate = 0.3;
+  batches[3] = {"duplicate", {}};
+  batches[3].faults.duplicate_record_rate = 0.3;
+  batches[4] = {"rename-crash", {}};
+  batches[4].faults.crash_before_rename_rate = 0.9;
+
+  storage::StorageFaultCounts injected;
+  std::size_t lossless = 0;
+  std::size_t lossy = 0;
+  for (const auto& batch : batches) {
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+      run_scenario(seed, batch.faults, injected, lossless, lossy);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+  EXPECT_EQ(lossless + lossy, 250u);
+  // Every fault kind must actually have fired across its batch.
+  EXPECT_GT(injected.torn_writes, 0u);
+  EXPECT_GT(injected.bit_flips, 0u);
+  EXPECT_GT(injected.truncations, 0u);
+  EXPECT_GT(injected.duplicate_records, 0u);
+  EXPECT_GT(injected.crashes_before_rename, 0u);
+  // And the sweep must have seen both outcomes, or it proved nothing.
+  EXPECT_GT(lossless, 0u);
+  EXPECT_GT(lossy, 0u);
+}
+
+TEST(StorageCorruption, PristineMediaRecoversByteIdentically) {
+  auto scenario = sim::make_attack_scenario(3, 3, 2);
+  auto& eng = *scenario.engine;
+  engine::DurableSessionStore store;
+  store.checkpoint(eng);
+  eng.set_durability_observer(&store);
+  recovery::RecoveryScheduler scheduler(eng);
+  scheduler.execute(recovery::RecoveryAnalyzer(eng).analyze(scenario.malicious));
+  eng.set_durability_observer(nullptr);
+
+  engine::RecoveryReport report;
+  const auto recovered = store.recover(report);
+  EXPECT_TRUE(report.clean()) << report.summary();
+  EXPECT_GT(report.wal_records_replayed, 0u);
+  EXPECT_EQ(session_text(*recovered.engine), session_text(eng));
+}
+
+TEST(StorageCorruption, DuplicatedRecordsAreMaskedLosslessly) {
+  // A retried append that lands twice is detected, skipped, and does
+  // not cost a byte: damage seen, nothing lost.
+  auto scenario = sim::make_attack_scenario(4, 3, 2);
+  auto& eng = *scenario.engine;
+  engine::DurableSessionStore store;
+  store.checkpoint(eng);
+  storage::StorageFaultConfig faults;
+  faults.duplicate_record_rate = 1.0;
+  storage::StorageFaultInjector injector(11, faults);
+  store.set_fault_injector(&injector);
+  eng.set_durability_observer(&store);
+  recovery::RecoveryScheduler scheduler(eng);
+  scheduler.execute(recovery::RecoveryAnalyzer(eng).analyze(scenario.malicious));
+  eng.set_durability_observer(nullptr);
+
+  ASSERT_GT(injector.counts().duplicate_records, 0u);
+  engine::RecoveryReport report;
+  const auto recovered = store.recover(report);
+  EXPECT_TRUE(report.lossless()) << report.summary();
+  EXPECT_TRUE(report.detected_damage());
+  EXPECT_GT(report.wal_duplicates_skipped, 0u);
+  EXPECT_EQ(session_text(*recovered.engine), session_text(eng));
+}
+
+TEST(StorageCorruption, CrashBeforeRenameKeepsOldGenerationAuthoritative) {
+  // A checkpoint whose rename never lands is observable by the writer:
+  // the store keeps extending the OLD WAL, so nothing is lost.
+  auto scenario = sim::make_attack_scenario(5, 3, 2);
+  auto& eng = *scenario.engine;
+  engine::DurableSessionStore store;
+  store.checkpoint(eng);
+  storage::StorageFaultConfig faults;
+  faults.crash_before_rename_rate = 1.0;
+  storage::StorageFaultInjector injector(13, faults);
+  store.set_fault_injector(&injector);
+  eng.set_durability_observer(&store);
+
+  recovery::RecoveryScheduler scheduler(eng);
+  scheduler.execute(recovery::RecoveryAnalyzer(eng).analyze(scenario.malicious));
+  store.checkpoint(eng);  // crashes before rename, by construction
+  eng.set_durability_observer(nullptr);
+  ASSERT_GT(injector.counts().crashes_before_rename, 0u);
+
+  engine::RecoveryReport report;
+  const auto recovered = store.recover(report);
+  EXPECT_TRUE(report.lossless()) << report.summary();
+  EXPECT_EQ(report.snapshot_generation, 1u);
+  EXPECT_EQ(session_text(*recovered.engine), session_text(eng));
+}
+
+TEST(StorageCorruption, DamagedWalIsExplicitlyLossyNeverWrong) {
+  // Flip bits in every WAL append: replay stops at the damage and SAYS
+  // SO; the recovered prefix is still a valid session.
+  auto scenario = sim::make_attack_scenario(6, 3, 2);
+  auto& eng = *scenario.engine;
+  engine::DurableSessionStore store;
+  store.checkpoint(eng);
+  storage::StorageFaultConfig faults;
+  faults.bit_flip_rate = 1.0;
+  storage::StorageFaultInjector injector(17, faults);
+  store.set_fault_injector(&injector);
+  eng.set_durability_observer(&store);
+  recovery::RecoveryScheduler scheduler(eng);
+  scheduler.execute(recovery::RecoveryAnalyzer(eng).analyze(scenario.malicious));
+  eng.set_durability_observer(nullptr);
+  ASSERT_GT(injector.counts().bit_flips, 0u);
+
+  engine::RecoveryReport report;
+  const auto recovered = store.recover(report);
+  ASSERT_NE(recovered.engine, nullptr);
+  EXPECT_FALSE(report.lossless());
+  EXPECT_TRUE(report.lost_updates);
+  EXPECT_FALSE(report.wal_error.ok());
+  // The recovered prefix must itself be a coherent session: it can be
+  // re-serialised and re-loaded.
+  std::stringstream round;
+  engine::save_session(*recovered.engine, round);
+  EXPECT_NO_THROW((void)engine::load_session(round));
+}
+
+TEST(StorageCorruption, WalRecordIdGapStopsReplayExplicitly) {
+  // Surgical media damage: remove a middle WAL record wholesale (a lost
+  // sector replaced by a later, intact write). The survivors around the
+  // hole parse fine; the id gap must stop replay and flag lost updates.
+  auto scenario = sim::make_attack_scenario(7, 3, 2);
+  auto& eng = *scenario.engine;
+  engine::DurableSessionStore store;
+  store.checkpoint(eng);
+  eng.set_durability_observer(&store);
+  recovery::RecoveryScheduler scheduler(eng);
+  scheduler.execute(recovery::RecoveryAnalyzer(eng).analyze(scenario.malicious));
+  eng.set_durability_observer(nullptr);
+
+  const auto scan = storage::scan_wal(store.wal());
+  ASSERT_TRUE(scan.error.ok());
+  ASSERT_GE(scan.records.size(), 3u);  // base meta + at least two commits
+  // Rebuild the medium without the first data record after the base.
+  auto& wal = store.mutable_wal();
+  wal = storage::wal_header();
+  for (std::size_t i = 0; i < scan.records.size(); ++i) {
+    if (i == 1) continue;
+    storage::wal_append(wal, scan.records[i].type, scan.records[i].payload);
+  }
+
+  engine::RecoveryReport report;
+  const auto recovered = store.recover(report);
+  ASSERT_NE(recovered.engine, nullptr);
+  EXPECT_TRUE(report.lost_updates);
+  EXPECT_FALSE(report.lossless());
+  EXPECT_EQ(report.wal_records_replayed, 0u);
+}
+
+TEST(StorageCorruption, AllSnapshotsDamagedIsUnrecoverableNotWrong) {
+  auto scenario = sim::make_attack_scenario(8, 3, 2);
+  auto& eng = *scenario.engine;
+  engine::DurableSessionStore store;
+  store.checkpoint(eng);
+  for (auto& blob : store.mutable_snapshots().mutable_blobs()) {
+    if (!blob.empty()) blob[blob.size() / 2] ^= 0x01;
+  }
+  engine::RecoveryReport report;
+  const auto recovered = store.recover(report);
+  EXPECT_TRUE(report.unrecoverable);
+  EXPECT_TRUE(report.lost_updates);
+  EXPECT_EQ(recovered.engine, nullptr);
+}
+
+TEST(StorageCorruption, RebasedWalOverFallbackSnapshotIsNeverLossless) {
+  // The sharp edge: checkpoint N is intact, checkpoint N+1 is damaged
+  // in a way the writer cannot observe (media lied after fsync), and
+  // the WAL was re-based on N+1. Recovery falls back to N; it must NOT
+  // claim losslessness -- whatever happened between N and N+1 is gone.
+  auto scenario = sim::make_attack_scenario(2, 3, 2);
+  auto& eng = *scenario.engine;
+  engine::DurableSessionStore store;
+  store.checkpoint(eng);
+  eng.set_durability_observer(&store);
+  recovery::RecoveryScheduler scheduler(eng);
+  scheduler.execute(recovery::RecoveryAnalyzer(eng).analyze(scenario.malicious));
+  store.checkpoint(eng);  // generation 2, WAL re-based
+  eng.set_durability_observer(nullptr);
+
+  auto& blobs = store.mutable_snapshots().mutable_blobs();
+  ASSERT_EQ(blobs.size(), 2u);
+  blobs[1][blobs[1].size() / 2] ^= 0x01;  // damage generation 2
+
+  engine::RecoveryReport report;
+  const auto recovered = store.recover(report);
+  ASSERT_NE(recovered.engine, nullptr);
+  EXPECT_EQ(report.snapshot_generation, 1u);
+  EXPECT_EQ(report.snapshot_fallbacks, 1u);
+  EXPECT_TRUE(report.wal_base_mismatch);
+  EXPECT_TRUE(report.lost_updates);
+  EXPECT_FALSE(report.lossless());
+}
+
+TEST(StorageCorruption, InjectorIsDeterministicPerSeed) {
+  storage::StorageFaultConfig faults;
+  faults.torn_write_rate = 0.2;
+  faults.bit_flip_rate = 0.2;
+  faults.duplicate_record_rate = 0.2;
+  const auto record = storage::encode_wal_record(
+      storage::WalRecordType::kData, "deterministic payload");
+
+  for (std::uint64_t seed : {1ull, 42ull, 999ull}) {
+    storage::StorageFaultInjector a(seed, faults);
+    storage::StorageFaultInjector b(seed, faults);
+    auto wal_a = storage::wal_header();
+    auto wal_b = storage::wal_header();
+    for (std::uint64_t op = 0; op < 64; ++op) {
+      EXPECT_EQ(a.on_wal_append(wal_a, record, op),
+                b.on_wal_append(wal_b, record, op));
+    }
+    EXPECT_EQ(wal_a, wal_b) << "seed " << seed;
+    EXPECT_EQ(a.counts().total(), b.counts().total());
+  }
+}
+
+}  // namespace
