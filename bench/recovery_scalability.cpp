@@ -21,18 +21,22 @@
 // the 1024-workflow point), --metrics-out/--trace-out/--metrics-summary.
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "selfheal/engine/session_io.hpp"
 #include "selfheal/obs/artifacts.hpp"
+#include "selfheal/recovery/action_graph.hpp"
 #include "selfheal/recovery/analyzer.hpp"
 #include "selfheal/recovery/correctness.hpp"
 #include "selfheal/recovery/scheduler.hpp"
 #include "selfheal/sim/workload.hpp"
 #include "selfheal/util/fsio.hpp"
 #include "selfheal/util/table.hpp"
+#include "selfheal/util/thread_pool.hpp"
 
 using namespace selfheal;
 
@@ -63,6 +67,30 @@ struct FleetRow {
   bool plans_equal = false;
 };
 
+/// One cell of the recovery-makespan vs worker-count curve. Every cell
+/// recovers a FRESH copy of the same deterministic scenario; `equivalent`
+/// asserts the executor equivalence gate (outcome signature, effective
+/// store, and serialized session bytes all match the 1-worker cell).
+/// `makespan_units` and `speedup_vs_serial` come from the ActionGraph
+/// list-schedule model (see ActionGraph::makespan) so the committed
+/// baseline is machine-independent; recover_ms is the corroborating
+/// wall clock on whatever host ran the bench.
+struct WorkerRow {
+  std::size_t workflows = 0;
+  std::size_t workers = 0;
+  double recover_ms = 0;  // min over reps
+  double undo_ms = 0;
+  double replay_ms = 0;
+  double reconcile_ms = 0;
+  double undo_busy_ms = 0;
+  double replay_busy_ms = 0;
+  double reconcile_busy_ms = 0;
+  std::size_t replay_rounds = 0;
+  std::uint64_t makespan_units = 0;
+  double speedup_vs_serial = 0;
+  bool equivalent = false;
+};
+
 struct AttackRow {
   std::size_t attacks = 0;
   std::size_t damaged = 0;
@@ -85,12 +113,13 @@ struct AppendRow {
 const char* json_bool(bool b) { return b ? "true" : "false"; }
 
 void write_json(const std::string& path, const std::vector<FleetRow>& fleet,
+                const std::vector<WorkerRow>& workers,
                 const std::vector<AttackRow>& attacks,
                 const std::vector<AppendRow>& appends) {
   std::ostringstream out;
   out << "{\n"
       << "  \"bench\": \"recovery_scalability\",\n"
-      << "  \"schema_version\": 2,\n"
+      << "  \"schema_version\": 3,\n"
       << "  \"fleet_sweep\": [\n";
   for (std::size_t i = 0; i < fleet.size(); ++i) {
     const auto& r = fleet[i];
@@ -103,6 +132,21 @@ void write_json(const std::string& path, const std::vector<FleetRow>& fleet,
         << r.reused << ", \"reuse_pct\": " << r.reuse_pct << ", \"strict\": "
         << json_bool(r.strict) << ", \"plans_equal\": " << json_bool(r.plans_equal)
         << "}" << (i + 1 < fleet.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"worker_sweep\": [\n";
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    const auto& r = workers[i];
+    out << "    {\"workflows\": " << r.workflows << ", \"workers\": " << r.workers
+        << ", \"recover_ms\": " << r.recover_ms << ", \"undo_ms\": " << r.undo_ms
+        << ", \"replay_ms\": " << r.replay_ms << ", \"reconcile_ms\": "
+        << r.reconcile_ms << ", \"undo_busy_ms\": " << r.undo_busy_ms
+        << ", \"replay_busy_ms\": " << r.replay_busy_ms
+        << ", \"reconcile_busy_ms\": " << r.reconcile_busy_ms
+        << ", \"replay_rounds\": " << r.replay_rounds
+        << ", \"makespan_units\": " << r.makespan_units
+        << ", \"speedup_vs_serial\": " << r.speedup_vs_serial
+        << ", \"equivalent\": " << json_bool(r.equivalent) << "}"
+        << (i + 1 < workers.size() ? "," : "") << "\n";
   }
   out << "  ],\n  \"attack_sweep\": [\n";
   for (std::size_t i = 0; i < attacks.size(); ++i) {
@@ -186,6 +230,90 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", by_size.render().c_str());
 
+  // --- Worker sweep: recovery makespan vs worker count (tentpole curve).
+  // Each cell recovers a fresh copy of the same deterministic scenario;
+  // the equivalence gate compares outcome signature, effective store, and
+  // serialized session bytes against the 1-worker cell. Seed 0x42 yields
+  // a wide damage closure (many independent cascade branches) at both
+  // fleet sizes -- the workload parallel recovery exists for; narrow
+  // single-chain closures degenerate to the serial schedule by design.
+  std::printf("\nParallel recovery (1 attack, DAG-parallel executor)\n\n");
+  std::vector<WorkerRow> worker_rows;
+  util::Table by_workers({"workflows", "workers", "recover ms", "undo ms",
+                          "replay ms", "reconcile ms", "busy ms", "rounds",
+                          "makespan", "speedup", "equivalent"});
+  by_workers.set_precision(3);
+  std::vector<std::size_t> sweep_fleets{256};
+  if (big) sweep_fleets.push_back(1024);
+  constexpr int kReps = 3;
+  for (const std::size_t workflows : sweep_fleets) {
+    std::uint64_t serial_units = 0;
+    std::string serial_signature;
+    std::string serial_session;
+    std::vector<engine::Value> serial_store;
+    for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+      util::ThreadPool pool(workers);
+      recovery::RecoveryOutcome best;
+      double best_ms = 0;
+      std::uint64_t units = 0;
+      std::string session_bytes;
+      std::vector<engine::Value> store_values;
+      for (int rep = 0; rep < kReps; ++rep) {
+        auto scenario = sim::make_attack_scenario(0x42, workflows, 1);
+        auto& eng = *scenario.engine;
+        const auto plan =
+            recovery::RecoveryAnalyzer(eng).analyze(scenario.malicious);
+        recovery::SchedulerOptions options;
+        options.workers = workers;
+        options.pool = workers > 1 ? &pool : nullptr;
+        recovery::RecoveryScheduler scheduler(eng, options);
+        const auto t0 = std::chrono::steady_clock::now();
+        auto outcome = scheduler.execute(plan);
+        const double rep_ms = ms_since(t0);
+        if (rep == 0) {
+          std::stringstream session;
+          engine::save_session(eng, session);
+          session_bytes = session.str();
+          const auto snapshot = eng.store().snapshot();
+          store_values.assign(snapshot.begin(), snapshot.end());
+          // The deterministic makespan model: the executed action DAG
+          // list-scheduled over `workers` virtual executors. Identical on
+          // every host, so the committed speedup curve is CI-diffable.
+          units = recovery::ActionGraph::from_execution(eng.log(), plan, outcome)
+                      .makespan(eng.log(), workers);
+        }
+        if (rep == 0 || rep_ms < best_ms) {
+          best_ms = rep_ms;
+          best = std::move(outcome);
+        }
+      }
+      if (workers == 1) {
+        serial_units = units;
+        serial_signature = best.signature();
+        serial_session = session_bytes;
+        serial_store = store_values;
+      }
+      const bool equivalent = best.signature() == serial_signature &&
+                              session_bytes == serial_session &&
+                              store_values == serial_store;
+      const double speedup = units > 0
+                                 ? static_cast<double>(serial_units) /
+                                       static_cast<double>(units)
+                                 : 0.0;
+      const double busy =
+          best.undo_busy_ms + best.replay_busy_ms + best.reconcile_busy_ms;
+      by_workers.add(workflows, workers, best_ms, best.undo_ms, best.replay_ms,
+                     best.reconcile_ms, busy, best.replay_rounds, units, speedup,
+                     equivalent ? "yes" : "NO");
+      worker_rows.push_back({workflows, workers, best_ms, best.undo_ms,
+                             best.replay_ms, best.reconcile_ms,
+                             best.undo_busy_ms, best.replay_busy_ms,
+                             best.reconcile_busy_ms, best.replay_rounds, units,
+                             speedup, equivalent});
+    }
+  }
+  std::printf("%s", by_workers.render().c_str());
+
   std::printf("\nRecovery scalability (16 workflows, growing attack count)\n\n");
   std::vector<AttackRow> attack_rows;
   util::Table by_attacks({"attacks", "damaged", "undone", "redone", "analyze ms",
@@ -261,11 +389,15 @@ int main(int argc, char** argv) {
               "# of a live dependence graph + analyze, O(damage) not O(log).\n"
               "# recover ms splits into undo/replay/reconcile: on large fleets\n"
               "# the replay sweep dominates (it walks every effective slot),\n"
-              "# while the undo cascade stays O(damage).\n");
+              "# while the undo cascade stays O(damage).\n"
+              "# Parallel speedup is the deterministic ActionGraph makespan\n"
+              "# model (work units over N virtual workers), so the committed\n"
+              "# curve is machine-independent; recover ms is this host's wall\n"
+              "# clock and only shows real speedup where cores exist.\n");
 
   if (flags.has("json-out")) {
     const auto path = flags.get("json-out", "BENCH_recovery.json");
-    write_json(path, fleet_rows, attack_rows, append_rows);
+    write_json(path, fleet_rows, worker_rows, attack_rows, append_rows);
     std::printf("\n# wrote %s\n", path.c_str());
   }
   obs::flush_from_flags(flags);

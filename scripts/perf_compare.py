@@ -8,6 +8,12 @@ from the JSON's "bench" field and dispatched to a per-bench metric map:
 
   * recovery_scalability -- fleet_sweep rows keyed by `workflows`;
     watches the steady-state `analyze_incremental_ms` (largest fleet).
+    Schema v3 adds a `worker_sweep` section (parallel recovery): its
+    wall-clock columns are compared like any other perf metric, but
+    `makespan_units`, `speedup_vs_serial`, `replay_rounds`, and
+    `equivalent` are DETERMINISTIC model outputs -- byte-stable across
+    hosts -- so any drift against the committed baseline, or a fresh
+    `equivalent: false`, is a hard failure (exit 1), not a warning.
   * ctmc_scalability     -- solver_sweep rows keyed by `states`;
     watches `sparse_steady_ms` at the largest state count.
   * storage_recovery     -- recovery_sweep rows keyed by `workflows`;
@@ -35,6 +41,13 @@ BENCHES = {
         "key": "workflows",
         "columns": ("analyze_incremental_ms", "analyze_rebuild_ms", "recover_ms"),
         "watch": "analyze_incremental_ms",
+        # Schema v3 deterministic section: exact-match gate, not a perf watch.
+        "det": {
+            "rows": "worker_sweep",
+            "keys": ("workflows", "workers"),
+            "exact": ("makespan_units", "speedup_vs_serial", "replay_rounds",
+                      "equivalent"),
+        },
     },
     "ctmc_scalability": {
         "rows": "solver_sweep",
@@ -61,7 +74,64 @@ def load_rows(path):
     rows = data.get(spec["rows"])
     if not isinstance(rows, list) or not rows:
         raise ValueError(f"{path}: missing or empty {spec['rows']}")
-    return bench, spec, {row[spec["key"]]: row for row in rows}
+    return bench, spec, {row[spec["key"]]: row for row in rows}, data
+
+
+def compare_det(bench, det, baseline_data, fresh_data):
+    """Exact-match gate over a deterministic section. Returns
+    (markdown lines, error annotation lines)."""
+    base_rows = baseline_data.get(det["rows"]) or []
+    fresh_rows = fresh_data.get(det["rows"]) or []
+    if not base_rows and not fresh_rows:
+        return [], []  # pre-v3 artifacts on both sides: nothing to gate
+    keyed = lambda rows: {
+        tuple(row[k] for k in det["keys"]): row for row in rows
+    }
+    base, fresh = keyed(base_rows), keyed(fresh_rows)
+
+    key_label = ", ".join(det["keys"])
+    lines = [f"### Deterministic gate: {bench} ({det['rows']})", ""]
+    header = f"| {key_label} |"
+    rule = "|---|"
+    for col in det["exact"]:
+        header += f" {col} (base / fresh) |"
+        rule += "---|"
+    lines += [header, rule]
+
+    # Gate on the shared cells only: the committed baseline carries the
+    # full --big sweep, while CI's smoke run measures the small fleets.
+    shared = sorted(set(base) & set(fresh))
+    if not shared:
+        raise ValueError(f"{bench}: no common {det['rows']} rows to gate")
+    errors = []
+    for k in shared:
+        cells = []
+        for col in det["exact"]:
+            b, f = base[k].get(col), fresh[k].get(col)
+            marker = "" if b == f else " **MISMATCH**"
+            cells.append(f" {b} / {f}{marker} |")
+            if b != f:
+                errors.append(
+                    f"::error title=perf-smoke::{bench} {det['rows']} "
+                    f"({key_label})={k} {col}: baseline {b} != fresh {f}"
+                )
+        lines.append(f"| {k} |" + "".join(cells))
+        if fresh[k].get("equivalent") is not True:
+            errors.append(
+                f"::error title=perf-smoke::{bench} {det['rows']} "
+                f"({key_label})={k}: parallel executor NOT equivalent to serial"
+            )
+    skipped = sorted((set(base) | set(fresh)) - set(shared))
+    lines.append("")
+    if skipped:
+        lines.append(f"(not measured on both sides, skipped: {skipped})")
+    lines.append(
+        "Deterministic fields must match the committed baseline exactly "
+        "(model outputs, not wall clock); a mismatch fails the job."
+        if errors
+        else "All deterministic fields match the committed baseline."
+    )
+    return lines, errors
 
 
 def fmt_ratio(base, fresh):
@@ -72,9 +142,9 @@ def fmt_ratio(base, fresh):
 
 
 def compare_pair(baseline_path, fresh_path):
-    """Returns (markdown lines, warning line or None)."""
-    base_bench, spec, baseline = load_rows(baseline_path)
-    fresh_bench, _, fresh = load_rows(fresh_path)
+    """Returns (markdown lines, warning line or None, error lines)."""
+    base_bench, spec, baseline, baseline_data = load_rows(baseline_path)
+    fresh_bench, _, fresh, fresh_data = load_rows(fresh_path)
     if base_bench != fresh_bench:
         raise ValueError(
             f"bench mismatch: {baseline_path} is {base_bench}, "
@@ -124,7 +194,15 @@ def compare_pair(baseline_path, fresh_path):
             f"{watch} at {key}={steady}: {fmt_ratio(b, f)} of baseline "
             f"(warn threshold {WARN_RATIO:.0f}x)."
         )
-    return lines, warning
+
+    errors = []
+    det = spec.get("det")
+    if det:
+        det_lines, errors = compare_det(base_bench, det, baseline_data,
+                                        fresh_data)
+        if det_lines:
+            lines += [""] + det_lines
+    return lines, warning, errors
 
 
 def main():
@@ -140,14 +218,16 @@ def main():
 
     all_lines = []
     warnings = []
+    errors = []
     try:
         for i in range(0, len(args.pairs), 2):
-            lines, warning = compare_pair(args.pairs[i], args.pairs[i + 1])
+            lines, warning, errs = compare_pair(args.pairs[i], args.pairs[i + 1])
             if all_lines:
                 all_lines.append("")
             all_lines += lines
             if warning:
                 warnings.append(warning)
+            errors += errs
     except (OSError, ValueError, KeyError, json.JSONDecodeError) as err:
         print(f"perf_compare: bad input: {err}", file=sys.stderr)
         return 1
@@ -156,10 +236,13 @@ def main():
     print(table)
     for warning in warnings:
         print(warning)
+    for error in errors:
+        print(error)
     if args.summary_out:
         with open(args.summary_out, "a", encoding="utf-8") as fh:
             fh.write(table + "\n")
-    return 0
+    # Deterministic-gate mismatches are correctness drift, not perf noise.
+    return 1 if errors else 0
 
 
 if __name__ == "__main__":

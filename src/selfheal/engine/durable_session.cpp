@@ -138,6 +138,13 @@ std::string RecoveryReport::summary() const {
 void DurableSessionStore::wal_record(storage::WalRecordType type,
                                      std::string_view payload) {
   durable_metrics().wal_records.inc();
+  if (group_open_ && type == storage::WalRecordType::kData) {
+    // Buffer the fully-framed record; end_group() lands the whole batch
+    // as one media append. Meta records (checkpoint base) bypass the
+    // group: they belong to the fresh WAL, not the commit batch.
+    group_ += storage::encode_wal_record(type, payload);
+    return;
+  }
   if (faults_ != nullptr) {
     faults_->on_wal_append(wal_, storage::encode_wal_record(type, payload),
                            op_index_++);
@@ -145,6 +152,18 @@ void DurableSessionStore::wal_record(storage::WalRecordType type,
     ++op_index_;
     storage::wal_append(wal_, type, payload);
   }
+}
+
+void DurableSessionStore::end_group() {
+  group_open_ = false;
+  if (group_.empty()) return;
+  if (faults_ != nullptr) {
+    faults_->on_wal_append(wal_, group_, op_index_++);
+  } else {
+    ++op_index_;
+    wal_ += group_;
+  }
+  group_.clear();
 }
 
 void DurableSessionStore::emit(std::string_view payload) {
@@ -169,6 +188,8 @@ void DurableSessionStore::checkpoint(const Engine& engine) {
   // the live engine, which already includes those commits.
   batch_.clear();
   batch_open_ = false;
+  group_.clear();
+  group_open_ = false;
   std::ostringstream text;
   save_session(engine, text);
   const auto generation = snapshots_.next_generation();

@@ -102,9 +102,21 @@ class DurableSessionStore final : public DurabilityObserver {
   void begin_batch() { batch_open_ = true; }
   void end_batch();
 
+  /// Group-commit scope: records emitted between begin_group() and
+  /// end_group() keep their individual frames (the WAL byte stream and
+  /// the one-step-one-record rewind unit are unchanged) but land on the
+  /// media as ONE append -- one op index, one notional fsync. This is
+  /// how the parallel recovery executor amortises durability across a
+  /// batch of worker commits. A group inside an open batch is a no-op
+  /// (the batch already coalesces payloads into a single record).
+  void begin_group() { group_open_ = true; }
+  void end_group();
+
   // DurabilityObserver:
   void on_commit(const Engine& engine, const TaskInstance& entry) override;
   void on_control_change(const Engine& engine, RunId run) override;
+  void on_group_begin() override { begin_group(); }
+  void on_group_end() override { end_group(); }
 
   /// Rebuilds a session from the surviving media. On unrecoverable
   /// media the returned Session has a null engine and
@@ -134,6 +146,8 @@ class DurableSessionStore final : public DurabilityObserver {
   std::string wal_;
   bool batch_open_ = false;
   std::string batch_;
+  bool group_open_ = false;
+  std::string group_;  // encoded record frames awaiting one media append
   /// Generation + log size the current WAL extends.
   std::uint64_t base_generation_ = 0;
   std::size_t base_log_size_ = 0;

@@ -1,5 +1,6 @@
 #include "selfheal/engine/engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -223,21 +224,14 @@ std::vector<const wfspec::WorkflowSpec*> Engine::specs_by_run() const {
   return result;
 }
 
-InstanceId Engine::execute(RunId run_id, wfspec::TaskId task, int incarnation,
-                           ActionKind kind, InstanceId target, SeqNo logical_slot,
-                           const std::vector<Value>* read_override) {
+TaskInstance Engine::build_instance(RunId run_id, wfspec::TaskId task,
+                                    int incarnation, ActionKind kind,
+                                    InstanceId target, SeqNo logical_slot,
+                                    const std::vector<Value>* read_override) const {
   const Run& run = runs_.at(static_cast<std::size_t>(run_id));
   const auto& spec = *run.spec;
   const auto& task_spec = spec.task(task);
   const bool malicious = kind == ActionKind::kMalicious;
-
-  auto& em = engine_metrics();
-  em.tasks_executed.inc();
-  if (malicious) em.tasks_malicious.inc();
-  if (kind == ActionKind::kRedo) em.redo_actions.inc();
-  if (kind == ActionKind::kFresh) em.fresh_actions.inc();
-  obs::Span span(span_name(kind), "engine");
-  if (span.active()) span.set_detail(spec.name() + ":" + task_spec.name);
 
   TaskInstance entry;
   entry.run = run_id;
@@ -251,7 +245,8 @@ InstanceId Engine::execute(RunId run_id, wfspec::TaskId task, int incarnation,
   entry.read_objects = task_spec.reads;
   if (read_override != nullptr) {
     if (read_override->size() != task_spec.reads.size()) {
-      throw std::invalid_argument("Engine::execute: read override size mismatch");
+      throw std::invalid_argument(
+          "Engine::build_instance: read override size mismatch");
     }
     entry.read_values = *read_override;
   } else {
@@ -283,6 +278,10 @@ InstanceId Engine::execute(RunId run_id, wfspec::TaskId task, int incarnation,
     entry.chosen_successor = succ[choose_branch(sel_value, succ.size())];
   }
 
+  return entry;
+}
+
+InstanceId Engine::commit_instance(TaskInstance entry) {
   // Commit phase: write the store, then append to the log.
   const SeqNo seq = next_seq();
   const auto id = static_cast<InstanceId>(log_.size());
@@ -290,6 +289,107 @@ InstanceId Engine::execute(RunId run_id, wfspec::TaskId task, int incarnation,
     store_.write(entry.written_objects[i], entry.written_values[i], seq, id);
   }
   return log_.append(std::move(entry));
+}
+
+InstanceId Engine::execute(RunId run_id, wfspec::TaskId task, int incarnation,
+                           ActionKind kind, InstanceId target, SeqNo logical_slot,
+                           const std::vector<Value>* read_override) {
+  const bool malicious = kind == ActionKind::kMalicious;
+  auto& em = engine_metrics();
+  em.tasks_executed.inc();
+  if (malicious) em.tasks_malicious.inc();
+  if (kind == ActionKind::kRedo) em.redo_actions.inc();
+  if (kind == ActionKind::kFresh) em.fresh_actions.inc();
+  obs::Span span(span_name(kind), "engine");
+  if (span.active()) {
+    const auto& spec = *runs_.at(static_cast<std::size_t>(run_id)).spec;
+    span.set_detail(spec.name() + ":" + spec.task(task).name);
+  }
+  return commit_instance(build_instance(run_id, task, incarnation, kind, target,
+                                        logical_slot, read_override));
+}
+
+TaskInstance Engine::prepare_action(RunId run, wfspec::TaskId task,
+                                    int incarnation, ActionKind kind,
+                                    InstanceId target, SeqNo logical_slot,
+                                    const std::vector<Value>& read_values) const {
+  return build_instance(run, task, incarnation, kind, target, logical_slot,
+                        &read_values);
+}
+
+InstanceId Engine::commit_action(TaskInstance entry) {
+  auto& em = engine_metrics();
+  em.tasks_executed.inc();
+  if (entry.kind == ActionKind::kRedo) em.redo_actions.inc();
+  if (entry.kind == ActionKind::kFresh) em.fresh_actions.inc();
+  obs::Span span(span_name(entry.kind), "engine");
+  if (span.active()) {
+    const auto& spec = *runs_.at(static_cast<std::size_t>(entry.run)).spec;
+    span.set_detail(spec.name() + ":" + spec.task(entry.task).name);
+  }
+  const auto id = commit_instance(std::move(entry));
+  if (durability_observer_) durability_observer_->on_commit(*this, log_.entry(id));
+  return id;
+}
+
+std::vector<Value> Engine::peek_undo_values(
+    InstanceId target, const VersionedStore::WriterFilter& skip_writer) const {
+  const auto& victim = log_.entry(target);
+  if (victim.kind == ActionKind::kUndo || victim.kind == ActionKind::kRepair) {
+    throw std::logic_error("apply_undo: target is not an execution entry");
+  }
+  std::vector<Value> restored;
+  restored.reserve(victim.written_objects.size());
+  for (const auto object : victim.written_objects) {
+    restored.push_back(store_.version_before(object, victim.seq, skip_writer).value);
+  }
+  return restored;
+}
+
+InstanceId Engine::commit_undo_prepared(InstanceId target,
+                                        std::vector<Value> restored) {
+  const auto& victim = log_.entry(target);
+  if (victim.kind == ActionKind::kUndo || victim.kind == ActionKind::kRepair) {
+    throw std::logic_error("apply_undo: target is not an execution entry");
+  }
+  if (restored.size() != victim.written_objects.size()) {
+    throw std::invalid_argument(
+        "Engine::commit_undo_prepared: restored value count mismatch");
+  }
+  engine_metrics().undo_actions.inc();
+  obs::Span span("engine.undo", "engine");
+
+  TaskInstance entry;
+  entry.run = victim.run;
+  entry.task = victim.task;
+  entry.incarnation = victim.incarnation;
+  entry.kind = ActionKind::kUndo;
+  entry.target = target;
+  entry.logical_slot = victim.logical_slot;
+  entry.written_objects = victim.written_objects;
+  entry.written_values = std::move(restored);
+  const auto undo_id = log_.append(std::move(entry));
+  if (durability_observer_) {
+    durability_observer_->on_commit(*this, log_.entry(undo_id));
+  }
+  return undo_id;
+}
+
+void Engine::write_restored_version(wfspec::ObjectId object, Value value,
+                                    SeqNo seq, InstanceId writer) {
+  store_.write_guarded(object, value, seq, writer);
+}
+
+void Engine::prepare_store_concurrency(std::size_t min_objects) {
+  store_.prepare_concurrent(std::max(min_objects, store_.object_count()));
+}
+
+void Engine::begin_durability_group() {
+  if (durability_observer_) durability_observer_->on_group_begin();
+}
+
+void Engine::end_durability_group() {
+  if (durability_observer_) durability_observer_->on_group_end();
 }
 
 InstanceId Engine::apply_undo(InstanceId target,

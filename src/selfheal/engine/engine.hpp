@@ -85,6 +85,11 @@ class DurabilityObserver {
   /// Fired after a run's control state changed outside a normal commit
   /// (resume_run, abort_run).
   virtual void on_control_change(const Engine& engine, RunId run) = 0;
+  /// Brackets a durability group (Engine::begin/end_durability_group):
+  /// commits observed between the two calls may be coalesced into one
+  /// media append, provided the logical record stream is unchanged.
+  virtual void on_group_begin() {}
+  virtual void on_group_end() {}
 };
 
 class Engine {
@@ -185,6 +190,57 @@ class Engine {
   InstanceId apply_repair(
       const std::vector<std::pair<wfspec::ObjectId, Value>>& fixes);
 
+  // --- Parallel recovery support (recovery/scheduler_parallel.cpp) ---
+  //
+  // The parallel executor separates an action's pure read/compute phase
+  // (safe to run concurrently) from its commit (serialised in
+  // deterministic slot order), so the resulting log, store, and metrics
+  // are byte-identical to the serial apply_* path.
+
+  /// The instance apply_redo/apply_fresh would commit, WITHOUT
+  /// committing it or touching metrics. Read values must be supplied
+  /// (the parallel executor always replays against its clean timeline),
+  /// so this never reads the store and is safe to call concurrently.
+  [[nodiscard]] TaskInstance prepare_action(
+      RunId run, wfspec::TaskId task, int incarnation, ActionKind kind,
+      InstanceId target, SeqNo logical_slot,
+      const std::vector<Value>& read_values) const;
+
+  /// Commits a prepared action: assigns seq/id, writes the store,
+  /// appends the log, and fires metrics + the durability observer --
+  /// exactly what apply_redo/apply_fresh do around their commit.
+  InstanceId commit_action(TaskInstance entry);
+
+  /// The values apply_undo(target, skip_writer) would restore, in
+  /// victim.written_objects order, without committing anything. Safe to
+  /// call concurrently once the relevant histories exist (the victim
+  /// wrote them, so they do).
+  [[nodiscard]] std::vector<Value> peek_undo_values(
+      InstanceId target,
+      const VersionedStore::WriterFilter& skip_writer = nullptr) const;
+
+  /// Appends the kUndo entry for `target` with pre-computed restored
+  /// values (metrics + observer as apply_undo) WITHOUT writing the
+  /// store: the caller replays the restored versions concurrently,
+  /// partitioned by object, via write_restored_version.
+  InstanceId commit_undo_prepared(InstanceId target, std::vector<Value> restored);
+
+  /// Store write under per-object locking; see
+  /// VersionedStore::write_guarded for the ordering contract.
+  void write_restored_version(wfspec::ObjectId object, Value value, SeqNo seq,
+                              InstanceId writer);
+
+  /// Materialises lazily-initialised store state for at least
+  /// `min_objects` objects so concurrent readers never mutate it. Call
+  /// single-threaded before every parallel phase (serial commits may
+  /// have extended the object range since the last call).
+  void prepare_store_concurrency(std::size_t min_objects = 0);
+
+  /// Brackets a durability group around a batch of commits; forwarded to
+  /// DurabilityObserver::on_group_begin/on_group_end.
+  void begin_durability_group();
+  void end_durability_group();
+
   /// The branch successor `task` would choose given current store
   /// contents (without committing anything).
   [[nodiscard]] std::optional<wfspec::TaskId> peek_choice(RunId run,
@@ -231,10 +287,22 @@ class Engine {
     std::set<std::pair<wfspec::TaskId, int>> malicious;
   };
 
-  /// Executes one task instance and commits it. Shared by normal
-  /// execution, redo, and fresh execution. logical_slot == 0 means
-  /// "assign the commit seq" (normal execution). read_override, if
-  /// non-null, replaces store reads (recovery clean-timeline values).
+  /// Pure read/compute/branch phase of one task instance: builds the
+  /// entry apply_* would commit, without metrics or side effects (except
+  /// store reads when read_override is null). logical_slot == 0 means
+  /// "assign the commit seq" (normal execution).
+  [[nodiscard]] TaskInstance build_instance(
+      RunId run, wfspec::TaskId task, int incarnation, ActionKind kind,
+      InstanceId target, SeqNo logical_slot,
+      const std::vector<Value>* read_override = nullptr) const;
+
+  /// Commit phase: assigns seq/id, writes the store, appends the log.
+  InstanceId commit_instance(TaskInstance entry);
+
+  /// Executes one task instance and commits it (metrics + build +
+  /// commit). Shared by normal execution, redo, and fresh execution.
+  /// read_override, if non-null, replaces store reads (recovery
+  /// clean-timeline values).
   InstanceId execute(RunId run, wfspec::TaskId task, int incarnation,
                      ActionKind kind, InstanceId target, SeqNo logical_slot,
                      const std::vector<Value>* read_override = nullptr);

@@ -62,6 +62,23 @@ const std::vector<Version>& VersionedStore::history(wfspec::ObjectId object) con
   return histories_[static_cast<std::size_t>(object)];
 }
 
+void VersionedStore::prepare_concurrent(std::size_t object_count) {
+  for (std::size_t o = 0; o < object_count; ++o) {
+    ensure(static_cast<wfspec::ObjectId>(o));
+  }
+  if (stripes_ == nullptr) stripes_ = std::make_unique<std::mutex[]>(kLockStripes);
+}
+
+void VersionedStore::write_guarded(wfspec::ObjectId object, Value value,
+                                   SeqNo seq, InstanceId writer) {
+  if (stripes_ == nullptr) {
+    throw std::logic_error("VersionedStore: write_guarded before prepare_concurrent");
+  }
+  std::lock_guard<std::mutex> lock(
+      stripes_[static_cast<std::size_t>(object) % kLockStripes]);
+  write(object, value, seq, writer);
+}
+
 std::vector<Value> VersionedStore::snapshot() const {
   std::vector<Value> values;
   values.reserve(histories_.size());

@@ -1,0 +1,266 @@
+#include "selfheal/recovery/action_graph.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <queue>
+#include <set>
+#include <sstream>
+
+namespace selfheal::recovery {
+
+namespace {
+
+/// The ActionNode a committed recovery entry realises; nullopt for
+/// kRepair (and non-recovery kinds, which never appear in
+/// action_entries).
+std::optional<ActionNode> node_of_entry(const engine::TaskInstance& entry) {
+  switch (entry.kind) {
+    case engine::ActionKind::kUndo:
+      return ActionNode{ActionType::kUndo, entry.target};
+    case engine::ActionKind::kRedo:
+      return ActionNode{ActionType::kRedo, entry.target};
+    case engine::ActionKind::kFresh:
+      return ActionNode{ActionType::kRedo, entry.id};
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+void ActionGraph::add_node(ActionNode node) {
+  if (std::find(nodes_.begin(), nodes_.end(), node) == nodes_.end()) {
+    nodes_.push_back(node);
+  }
+}
+
+void ActionGraph::add_edge(ActionEdge edge) {
+  add_node(edge.from);
+  add_node(edge.to);
+  if (std::find(edges_.begin(), edges_.end(), edge) == edges_.end()) {
+    edges_.push_back(edge);
+  }
+}
+
+ActionGraph ActionGraph::from_plan(const RecoveryPlan& plan) {
+  ActionGraph graph;
+  for (const auto id : plan.damaged) graph.add_node({ActionType::kUndo, id});
+  for (const auto& c : plan.candidate_undos) {
+    graph.add_node({ActionType::kUndo, c.instance});
+  }
+  for (const auto id : plan.definite_redos) graph.add_node({ActionType::kRedo, id});
+  for (const auto& c : plan.candidate_redos) {
+    graph.add_node({ActionType::kRedo, c.instance});
+  }
+  for (const auto& c : plan.constraints) {
+    graph.add_edge({{c.before_type, c.before}, {c.after_type, c.after}, c.rule});
+  }
+  return graph;
+}
+
+ActionGraph ActionGraph::from_execution(const engine::SystemLog& log,
+                                        const RecoveryPlan& plan,
+                                        const RecoveryOutcome& outcome) {
+  ActionGraph graph;
+  std::set<ActionNode> committed;
+  for (const auto entry_id : outcome.action_entries) {
+    if (const auto node = node_of_entry(log.entry(entry_id))) {
+      committed.insert(*node);
+      graph.add_node(*node);
+    }
+  }
+  // Static + dynamically resolved Theorem 3 edges, restricted to what ran.
+  const auto add_if_committed = [&](const OrderConstraint& c) {
+    const ActionNode from{c.before_type, c.before};
+    const ActionNode to{c.after_type, c.after};
+    if (committed.count(from) && committed.count(to)) {
+      graph.add_edge({from, to, c.rule});
+    }
+  };
+  for (const auto& c : plan.constraints) add_if_committed(c);
+  for (const auto& c : outcome.resolved) add_if_committed(c);
+  // Rule 0: per-object version order. Consecutive committed actions
+  // that wrote the same object must keep their commit order -- that IS
+  // the store's version chain for the object.
+  std::map<wfspec::ObjectId, ActionNode> last_writer;
+  for (const auto entry_id : outcome.action_entries) {
+    const auto& entry = log.entry(entry_id);
+    const auto node = node_of_entry(entry);
+    if (!node) continue;
+    for (const auto object : entry.written_objects) {
+      const auto it = last_writer.find(object);
+      if (it != last_writer.end() && !(it->second == *node)) {
+        graph.add_edge({it->second, *node, 0});
+      }
+      last_writer[object] = *node;
+    }
+  }
+  return graph;
+}
+
+ActionGraph::Stats ActionGraph::stats() const {
+  Stats stats;
+  stats.nodes = nodes_.size();
+  stats.edges = edges_.size();
+  if (nodes_.empty()) return stats;
+
+  std::map<ActionNode, std::size_t> index;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) index[nodes_[i]] = i;
+  std::vector<std::vector<std::size_t>> succ(nodes_.size());
+  std::vector<std::size_t> indegree(nodes_.size(), 0);
+  for (const auto& e : edges_) {
+    succ[index.at(e.from)].push_back(index.at(e.to));
+    ++indegree[index.at(e.to)];
+  }
+  // Kahn layering: depth = longest chain, width = widest layer.
+  std::vector<std::size_t> depth(nodes_.size(), 1);
+  std::vector<std::size_t> frontier;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (indegree[i] == 0) frontier.push_back(i);
+  }
+  std::size_t seen = 0;
+  std::map<std::size_t, std::size_t> layer_sizes;
+  while (!frontier.empty()) {
+    std::vector<std::size_t> next;
+    for (const auto i : frontier) {
+      ++seen;
+      ++layer_sizes[depth[i]];
+      for (const auto j : succ[i]) {
+        depth[j] = std::max(depth[j], depth[i] + 1);
+        if (--indegree[j] == 0) next.push_back(j);
+      }
+    }
+    frontier = std::move(next);
+  }
+  stats.acyclic = seen == nodes_.size();
+  for (const auto& [d, count] : layer_sizes) {
+    stats.critical_path = std::max(stats.critical_path, d);
+    stats.width = std::max(stats.width, count);
+  }
+  return stats;
+}
+
+bool ActionGraph::is_linear_extension(const std::vector<ActionNode>& order) const {
+  std::map<ActionNode, std::size_t> position;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position.emplace(order[i], i);  // first occurrence pins the position
+  }
+  for (const auto& e : edges_) {
+    const auto from = position.find(e.from);
+    const auto to = position.find(e.to);
+    if (from == position.end() || to == position.end()) continue;
+    if (from->second >= to->second) return false;
+  }
+  return true;
+}
+
+std::uint64_t ActionGraph::makespan(const engine::SystemLog& log,
+                                    std::size_t workers) const {
+  if (nodes_.empty()) return 0;
+  if (workers == 0) workers = 1;
+
+  std::map<ActionNode, std::size_t> index;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) index[nodes_[i]] = i;
+  std::vector<std::vector<std::size_t>> succ(nodes_.size());
+  std::vector<std::size_t> indegree(nodes_.size(), 0);
+  for (const auto& e : edges_) {
+    succ[index.at(e.from)].push_back(index.at(e.to));
+    ++indegree[index.at(e.to)];
+  }
+
+  auto cost_of = [&](const ActionNode& n) -> std::uint64_t {
+    const auto& entry = log.entry(n.instance);
+    const auto writes = static_cast<std::uint64_t>(entry.written_objects.size());
+    if (n.type == ActionType::kUndo) return writes + 1;
+    return static_cast<std::uint64_t>(entry.read_objects.size()) + writes + 1;
+  };
+
+  // Greedy Graham list schedule: ready nodes ordered by (ready time,
+  // node index), workers a min-heap of free times. Fully deterministic.
+  std::set<std::pair<std::uint64_t, std::size_t>> ready;
+  std::vector<std::uint64_t> ready_at(nodes_.size(), 0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (indegree[i] == 0) ready.insert({0, i});
+  }
+  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                      std::greater<>>
+      free_at;
+  for (std::size_t w = 0; w < workers; ++w) free_at.push(0);
+
+  std::uint64_t finish_max = 0;
+  while (!ready.empty()) {
+    const auto [t, i] = *ready.begin();
+    ready.erase(ready.begin());
+    const auto worker_free = free_at.top();
+    free_at.pop();
+    const auto start = std::max(t, worker_free);
+    const auto finish = start + cost_of(nodes_[i]);
+    free_at.push(finish);
+    finish_max = std::max(finish_max, finish);
+    for (const auto j : succ[i]) {
+      ready_at[j] = std::max(ready_at[j], finish);
+      if (--indegree[j] == 0) ready.insert({ready_at[j], j});
+    }
+  }
+  return finish_max;
+}
+
+std::string ActionGraph::to_dot(
+    const engine::SystemLog& log,
+    const std::vector<const wfspec::WorkflowSpec*>& spec_of_run) const {
+  auto name_of = [&](InstanceId id) -> std::string {
+    const auto& e = log.entry(id);
+    const auto* spec = spec_of_run.at(static_cast<std::size_t>(e.run));
+    std::string name = spec->task(e.task).name;
+    if (e.incarnation > 1) name += "^" + std::to_string(e.incarnation);
+    return name + "@run" + std::to_string(e.run);
+  };
+  auto node_id = [](const ActionNode& n) {
+    return std::string(n.type == ActionType::kUndo ? "u" : "r") +
+           std::to_string(n.instance);
+  };
+
+  std::ostringstream out;
+  out << "digraph recovery_actions {\n  rankdir=LR;\n";
+  for (const auto& n : nodes_) {
+    const bool undo = n.type == ActionType::kUndo;
+    out << "  " << node_id(n) << " [label=\"" << to_string(n.type) << " "
+        << name_of(n.instance) << "\", style=filled, fillcolor=\""
+        << (undo ? "#ffd9b3" : "#b3e6b3") << "\"];\n";
+  }
+  for (const auto& e : edges_) {
+    out << "  " << node_id(e.from) << " -> " << node_id(e.to) << " [label=\""
+        << (e.rule == 0 ? std::string("conflict") : "r" + std::to_string(e.rule))
+        << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::map<wfspec::ObjectId, std::vector<std::pair<std::size_t, std::size_t>>>
+undo_write_partitions(const engine::SystemLog& log,
+                      const std::vector<InstanceId>& victims) {
+  std::map<wfspec::ObjectId, std::vector<std::pair<std::size_t, std::size_t>>>
+      partitions;
+  for (std::size_t rank = 0; rank < victims.size(); ++rank) {
+    const auto& victim = log.entry(victims[rank]);
+    for (std::size_t i = 0; i < victim.written_objects.size(); ++i) {
+      partitions[victim.written_objects[i]].emplace_back(rank, i);
+    }
+  }
+  return partitions;
+}
+
+std::vector<ActionNode> commit_order_of(const engine::SystemLog& log,
+                                        const RecoveryOutcome& outcome) {
+  std::vector<ActionNode> order;
+  order.reserve(outcome.action_entries.size());
+  for (const auto entry_id : outcome.action_entries) {
+    if (const auto node = node_of_entry(log.entry(entry_id))) {
+      order.push_back(*node);
+    }
+  }
+  return order;
+}
+
+}  // namespace selfheal::recovery

@@ -1,0 +1,131 @@
+// The materialized recovery action DAG.
+//
+// A RecoveryPlan carries Theorem 3's partial order implicitly: static
+// constraints over planned actions plus rules (8, 10) that only resolve
+// while the schedule runs. The ActionGraph makes the dependency
+// structure explicit -- one node per recovery action, one edge per
+// ordering obligation -- so it can be (a) analysed (critical path vs
+// width bounds the parallel speedup), (b) rendered (the executor-DAG
+// to_dot view), and (c) used as the equivalence gate: any commit order
+// an executor produces must be a linear extension of this graph.
+//
+// Edges come from three sources:
+//   * the plan's static Theorem 3 constraints (rules 1-5),
+//   * dynamically resolved constraints (rules 8 and 10, recorded in
+//     RecoveryOutcome::resolved),
+//   * object conflicts (rule 0): consecutive committed actions that
+//     wrote the same object, in commit order -- the store's version
+//     chains, which any executor must also respect.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "selfheal/recovery/plan.hpp"
+#include "selfheal/recovery/scheduler.hpp"
+
+namespace selfheal::recovery {
+
+/// One recovery action: undo(instance) or redo(instance). Fresh
+/// executions are redo-typed nodes keyed by their new entry id (they
+/// have no pre-recovery target).
+struct ActionNode {
+  ActionType type = ActionType::kUndo;
+  InstanceId instance = engine::kInvalidInstance;
+
+  auto operator<=>(const ActionNode&) const = default;
+};
+
+struct ActionEdge {
+  ActionNode from;
+  ActionNode to;
+  int rule = 0;  // Theorem 3 rule; 0 = object conflict (version order)
+
+  auto operator<=>(const ActionEdge&) const = default;
+};
+
+class ActionGraph {
+ public:
+  /// The static view: planned actions plus the plan's Theorem 3
+  /// constraints (candidates included, their fate still open).
+  [[nodiscard]] static ActionGraph from_plan(const RecoveryPlan& plan);
+
+  /// The executed view: the actions a recovery round actually
+  /// committed, with the plan's static constraints, the dynamically
+  /// resolved ones, and rule-0 object-conflict edges reconstructed from
+  /// the committed entries. Edges whose endpoints were never committed
+  /// are dropped (unresolved candidates).
+  [[nodiscard]] static ActionGraph from_execution(const engine::SystemLog& log,
+                                                  const RecoveryPlan& plan,
+                                                  const RecoveryOutcome& outcome);
+
+  [[nodiscard]] const std::vector<ActionNode>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] const std::vector<ActionEdge>& edges() const noexcept {
+    return edges_;
+  }
+
+  struct Stats {
+    std::size_t nodes = 0;
+    std::size_t edges = 0;
+    /// Longest dependency chain (nodes on the critical path); the floor
+    /// on parallel recovery makespan in action-steps.
+    std::size_t critical_path = 0;
+    /// Max nodes at one depth level: available parallelism.
+    std::size_t width = 0;
+    bool acyclic = true;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// True iff `order` respects every edge both of whose endpoints occur
+  /// in `order`. The executor equivalence gate: a commit order that is
+  /// NOT a linear extension violated Theorem 3.
+  [[nodiscard]] bool is_linear_extension(const std::vector<ActionNode>& order) const;
+
+  /// Deterministic recovery makespan under `workers` executors, in the
+  /// scheduler's work-unit currency: each action costs its touched
+  /// objects + 1 (undo: writes + 1; redo: reads + writes + 1, read from
+  /// `log`), and a greedy list schedule places ready actions -- edge
+  /// order respected, node order breaking ties -- on the earliest free
+  /// worker. Machine-independent by construction: this is the committed
+  /// BENCH baseline's speedup metric, the wall clock merely corroborates
+  /// it where the host has real cores. makespan(1) is the serial total.
+  [[nodiscard]] std::uint64_t makespan(const engine::SystemLog& log,
+                                       std::size_t workers) const;
+
+  /// Graphviz rendering with rule-labelled edges (the executor-DAG
+  /// counterpart of RecoveryPlan::to_dot).
+  [[nodiscard]] std::string to_dot(
+      const engine::SystemLog& log,
+      const std::vector<const wfspec::WorkflowSpec*>& spec_of_run) const;
+
+  void add_node(ActionNode node);
+  void add_edge(ActionEdge edge);
+
+ private:
+  std::vector<ActionNode> nodes_;
+  std::vector<ActionEdge> edges_;
+};
+
+/// The undo cascade partitioned by object: for each object written by
+/// any victim, the (victim rank, write index) pairs in undo commit
+/// order. This is the parallel executor's phase-1 work partition: each
+/// object's version chain replays independently, in-chain order fixed.
+[[nodiscard]] std::map<wfspec::ObjectId,
+                       std::vector<std::pair<std::size_t, std::size_t>>>
+undo_write_partitions(const engine::SystemLog& log,
+                      const std::vector<InstanceId>& victims);
+
+/// Maps a recovery round's committed entries (outcome.action_entries)
+/// to ActionNodes in commit order: kUndo -> undo(target), kRedo ->
+/// redo(target), kFresh -> redo(new id); kRepair entries are skipped
+/// (the single reconciliation entry orders after everything trivially).
+[[nodiscard]] std::vector<ActionNode> commit_order_of(
+    const engine::SystemLog& log, const RecoveryOutcome& outcome);
+
+}  // namespace selfheal::recovery

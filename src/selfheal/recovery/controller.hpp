@@ -23,6 +23,7 @@
 
 #include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -32,6 +33,10 @@
 #include "selfheal/recovery/analyzer.hpp"
 #include "selfheal/recovery/scheduler.hpp"
 #include "selfheal/util/stats.hpp"
+
+namespace selfheal::util {
+class ThreadPool;
+}
 
 namespace selfheal::recovery {
 
@@ -81,6 +86,11 @@ struct ControllerConfig {
   /// alert (default); batching amortises the analyzer's per-scan log
   /// sweep at the cost of coarser recovery granularity.
   bool batch_alerts = false;
+  /// Workers for the DAG-parallel recovery executor; 1 keeps the serial
+  /// strict schedule. The result is byte-identical either way (the
+  /// risky strategy ignores this and stays serial). The controller owns
+  /// one shared pool, created lazily on the first recovery.
+  std::size_t recovery_workers = 1;
 };
 
 struct ControllerStats {
@@ -104,6 +114,7 @@ struct ControllerStats {
 class SelfHealingController {
  public:
   SelfHealingController(engine::Engine& engine, ControllerConfig config = {});
+  ~SelfHealingController();  // out-of-line: pool_ is incomplete here
 
   /// Figure 3 state, derived from the two queues.
   [[nodiscard]] SystemState state() const;
@@ -149,6 +160,9 @@ class SelfHealingController {
 
   engine::Engine* engine_;
   ControllerConfig config_;
+  /// Shared by every recovery of this controller (created on first use
+  /// when recovery_workers > 1) so repeated rounds reuse warm threads.
+  std::unique_ptr<util::ThreadPool> pool_;
   ids::AlertQueue alerts_;
   /// Long-lived dependence graph, refreshed per scan: appends only the
   /// log entries committed since the previous scan (full rebuild only

@@ -14,6 +14,8 @@
 
 namespace selfheal::recovery {
 
+struct RecoveryOutcome;
+
 using engine::InstanceId;
 
 enum class ActionType : std::uint8_t { kUndo, kRedo };
@@ -97,6 +99,16 @@ struct RecoveryPlan {
   [[nodiscard]] std::string to_dot(
       const engine::SystemLog& log,
       const std::vector<const wfspec::WorkflowSpec*>& spec_of_run) const;
+
+  /// Executed-DAG rendering: the action dependency graph the executor
+  /// actually ran -- committed actions only, with the plan's static
+  /// constraints, the dynamically resolved rules 8/10, and per-object
+  /// version-order (conflict) edges. Delegates to
+  /// ActionGraph::from_execution.
+  [[nodiscard]] std::string to_dot(
+      const engine::SystemLog& log,
+      const std::vector<const wfspec::WorkflowSpec*>& spec_of_run,
+      const RecoveryOutcome& outcome) const;
 };
 
 }  // namespace selfheal::recovery

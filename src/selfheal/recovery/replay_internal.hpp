@@ -1,0 +1,113 @@
+// Shared internals of the serial and parallel recovery executors.
+//
+// The serial scheduler (scheduler.cpp) is the specification: the
+// parallel executor (scheduler_parallel.cpp) must produce a
+// byte-identical log, store, outcome, and durability record stream for
+// every plan and worker count. Both share the log index and the clean
+// replay timeline defined here so there is exactly one definition of
+// "the effective execution" and "the clean value of an object".
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "selfheal/engine/engine.hpp"
+#include "selfheal/recovery/plan.hpp"
+#include "selfheal/recovery/scheduler.hpp"
+
+namespace selfheal::util {
+class ThreadPool;
+}
+
+namespace selfheal::recovery::detail {
+
+/// One-sweep index of the log's latest execution (and undone state) per
+/// (run, task, incarnation): the replay loop would otherwise pay a full
+/// backward log scan per step (O(n^2) recovery).
+class EffectiveIndex {
+ public:
+  explicit EffectiveIndex(const engine::SystemLog& log) {
+    for (const auto& e : log.entries()) {
+      const Key key{e.run, e.task, e.incarnation};
+      switch (e.kind) {
+        case engine::ActionKind::kNormal:
+        case engine::ActionKind::kMalicious:
+        case engine::ActionKind::kRedo:
+        case engine::ActionKind::kFresh:
+          state_[key] = {e.id, false};
+          break;
+        case engine::ActionKind::kUndo: {
+          const auto it = state_.find(key);
+          if (it != state_.end()) it->second.undone = true;
+          break;
+        }
+        case engine::ActionKind::kRepair:
+          break;
+      }
+    }
+  }
+
+  [[nodiscard]] std::optional<engine::InstanceId> latest(engine::RunId run,
+                                                         wfspec::TaskId task,
+                                                         int incarnation) const {
+    const auto it = state_.find(Key{run, task, incarnation});
+    if (it == state_.end()) return std::nullopt;
+    return it->second.id;
+  }
+
+  [[nodiscard]] bool undone(engine::RunId run, wfspec::TaskId task,
+                            int incarnation) const {
+    const auto it = state_.find(Key{run, task, incarnation});
+    return it != state_.end() && it->second.undone;
+  }
+
+  /// Keep the index live as this round commits its own entries.
+  void mark_undone(engine::RunId run, wfspec::TaskId task, int incarnation) {
+    state_[Key{run, task, incarnation}].undone = true;
+  }
+  void record_execution(engine::RunId run, wfspec::TaskId task, int incarnation,
+                        engine::InstanceId id) {
+    state_[Key{run, task, incarnation}] = {id, false};
+  }
+
+ private:
+  struct Key {
+    engine::RunId run;
+    wfspec::TaskId task;
+    int incarnation;
+    auto operator<=>(const Key&) const = default;
+  };
+  struct State {
+    engine::InstanceId id = engine::kInvalidInstance;
+    bool undone = false;
+  };
+  std::map<Key, State> state_;
+};
+
+/// The clean timeline: object values as a benign execution over the
+/// logical slots would produce them.
+class SimStore {
+ public:
+  [[nodiscard]] engine::Value get(wfspec::ObjectId o) const {
+    const auto it = values_.find(o);
+    return it == values_.end() ? engine::initial_value(o) : it->second;
+  }
+  void put(wfspec::ObjectId o, engine::Value v) { values_[o] = v; }
+  [[nodiscard]] const std::map<wfspec::ObjectId, engine::Value>& values() const {
+    return values_;
+  }
+
+ private:
+  std::map<wfspec::ObjectId, engine::Value> values_;
+};
+
+/// DAG-parallel executor (scheduler_parallel.cpp): speculative per-run
+/// replay walks on the pool, a deterministic slot-ordered commit merge,
+/// and object-partitioned undo/reconcile sweeps. Requires
+/// options.clean_reads (the strict strategies); RecoveryScheduler
+/// dispatches here when options.workers > 1.
+RecoveryOutcome execute_parallel(engine::Engine& engine, const RecoveryPlan& plan,
+                                 const SchedulerOptions& options,
+                                 util::ThreadPool& pool);
+
+}  // namespace selfheal::recovery::detail

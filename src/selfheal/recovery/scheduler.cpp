@@ -5,11 +5,14 @@
 #include <limits>
 #include <map>
 #include <set>
+#include <sstream>
 #include <stdexcept>
 
 #include "selfheal/obs/metrics.hpp"
 #include "selfheal/obs/trace.hpp"
+#include "selfheal/recovery/replay_internal.hpp"
 #include "selfheal/recovery/replay_order.hpp"
+#include "selfheal/util/thread_pool.hpp"
 
 namespace selfheal::recovery {
 
@@ -38,82 +41,19 @@ using engine::SeqNo;
 using engine::Value;
 using wfspec::ObjectId;
 using wfspec::TaskId;
+using detail::EffectiveIndex;
+using detail::SimStore;
 
-/// One-sweep index of the log's latest execution (and undone state) per
-/// (run, task, incarnation): the replay loop would otherwise pay a full
-/// backward log scan per step (O(n^2) recovery).
-class EffectiveIndex {
- public:
-  explicit EffectiveIndex(const engine::SystemLog& log) {
-    for (const auto& e : log.entries()) {
-      const Key key{e.run, e.task, e.incarnation};
-      switch (e.kind) {
-        case engine::ActionKind::kNormal:
-        case engine::ActionKind::kMalicious:
-        case engine::ActionKind::kRedo:
-        case engine::ActionKind::kFresh:
-          state_[key] = {e.id, false};
-          break;
-        case engine::ActionKind::kUndo: {
-          const auto it = state_.find(key);
-          if (it != state_.end()) it->second.undone = true;
-          break;
-        }
-        case engine::ActionKind::kRepair:
-          break;
-      }
-    }
+/// RAII bracket for the durability group: worker commits between the
+/// braces coalesce into one media append (see DurableSessionStore).
+struct DurabilityGroupGuard {
+  explicit DurabilityGroupGuard(engine::Engine& engine) : engine_(engine) {
+    engine_.begin_durability_group();
   }
-
-  [[nodiscard]] std::optional<engine::InstanceId> latest(engine::RunId run,
-                                                         TaskId task,
-                                                         int incarnation) const {
-    const auto it = state_.find(Key{run, task, incarnation});
-    if (it == state_.end()) return std::nullopt;
-    return it->second.id;
-  }
-
-  [[nodiscard]] bool undone(engine::RunId run, TaskId task, int incarnation) const {
-    const auto it = state_.find(Key{run, task, incarnation});
-    return it != state_.end() && it->second.undone;
-  }
-
-  /// Keep the index live as this round commits its own entries.
-  void mark_undone(engine::RunId run, TaskId task, int incarnation) {
-    state_[Key{run, task, incarnation}].undone = true;
-  }
-  void record_execution(engine::RunId run, TaskId task, int incarnation,
-                        engine::InstanceId id) {
-    state_[Key{run, task, incarnation}] = {id, false};
-  }
-
- private:
-  struct Key {
-    engine::RunId run;
-    TaskId task;
-    int incarnation;
-    auto operator<=>(const Key&) const = default;
-  };
-  struct State {
-    engine::InstanceId id = engine::kInvalidInstance;
-    bool undone = false;
-  };
-  std::map<Key, State> state_;
-};
-
-/// The clean timeline: object values as a benign execution over the
-/// logical slots would produce them.
-class SimStore {
- public:
-  [[nodiscard]] Value get(ObjectId o) const {
-    const auto it = values_.find(o);
-    return it == values_.end() ? engine::initial_value(o) : it->second;
-  }
-  void put(ObjectId o, Value v) { values_[o] = v; }
-  [[nodiscard]] const std::map<ObjectId, Value>& values() const { return values_; }
-
- private:
-  std::map<ObjectId, Value> values_;
+  ~DurabilityGroupGuard() { engine_.end_durability_group(); }
+  DurabilityGroupGuard(const DurabilityGroupGuard&) = delete;
+  DurabilityGroupGuard& operator=(const DurabilityGroupGuard&) = delete;
+  engine::Engine& engine_;
 };
 }  // namespace
 
@@ -125,10 +65,68 @@ bool RecoveryOutcome::was_redone(InstanceId id) const {
   return std::find(redone.begin(), redone.end(), id) != redone.end();
 }
 
+std::string RecoveryOutcome::signature() const {
+  std::ostringstream out;
+  const auto ids = [&out](const char* name, const std::vector<InstanceId>& v) {
+    out << name << ":";
+    for (const auto id : v) out << " " << id;
+    out << "\n";
+  };
+  ids("actions", action_entries);
+  ids("undone", undone);
+  ids("redone", redone);
+  ids("orphaned", orphaned);
+  ids("fresh", fresh_entries);
+  ids("repair", repair_entries);
+  out << "reused: " << reused << "\ndivergences: " << divergences
+      << "\nwork_units: " << work_units << "\nresolved:";
+  for (const auto& c : resolved) {
+    out << " " << to_string(c.before_type) << c.before << "<"
+        << to_string(c.after_type) << c.after << "@r" << c.rule;
+  }
+  out << "\n";
+  return out.str();
+}
+
 RecoveryOutcome RecoveryScheduler::execute(const RecoveryPlan& plan) {
   auto& sm = scheduler_metrics();
   obs::Span span("scheduler.execute", "recovery");
   const obs::ScopedTimerMs timer(sm.execute_ms);
+  const DurabilityGroupGuard group(*engine_);
+
+  RecoveryOutcome outcome;
+  // The risky strategy reads the live store mid-replay, which is
+  // inherently commit-order-dependent: it stays on the serial schedule.
+  if (options_.workers > 1 && options_.clean_reads) {
+    if (options_.pool != nullptr) {
+      outcome = detail::execute_parallel(*engine_, plan, options_, *options_.pool);
+    } else {
+      util::ThreadPool local_pool(options_.workers);
+      outcome = detail::execute_parallel(*engine_, plan, options_, local_pool);
+    }
+  } else {
+    outcome = execute_serial(plan);
+  }
+
+  sm.plans_executed.inc();
+  sm.undo_tasks.inc(outcome.undone.size());
+  sm.redo_tasks.inc(outcome.redone.size());
+  sm.fresh_tasks.inc(outcome.fresh_entries.size());
+  sm.reused_tasks.inc(outcome.reused);
+  sm.orphaned_tasks.inc(outcome.orphaned.size());
+  sm.repair_entries.inc(outcome.repair_entries.size());
+  sm.divergences.inc(outcome.divergences);
+  sm.work_units.inc(outcome.work_units);
+  sm.undo_depth.observe(static_cast<double>(outcome.undone.size()));
+  if (span.active()) {
+    span.set_detail("undone=" + std::to_string(outcome.undone.size()) +
+                    " redone=" + std::to_string(outcome.redone.size()) +
+                    " reused=" + std::to_string(outcome.reused));
+  }
+  return outcome;
+}
+
+RecoveryOutcome RecoveryScheduler::execute_serial(const RecoveryPlan& plan) {
   auto& engine = *engine_;
   const auto& log = engine.log();
   const auto specs = engine.specs_by_run();
@@ -172,8 +170,12 @@ RecoveryOutcome RecoveryScheduler::execute(const RecoveryPlan& plan) {
   obs::Span undo_span("scheduler.undo_phase", "recovery");
   auto phase_start = std::chrono::steady_clock::now();
   std::vector<InstanceId> damage = plan.damaged;
+  // Effective slots are unique; the id tiebreak pins the order anyway so
+  // the serial and parallel executors sort damage identically.
   std::sort(damage.begin(), damage.end(), [&](InstanceId a, InstanceId b) {
-    return log.entry(a).logical_slot > log.entry(b).logical_slot;
+    const auto sa = log.entry(a).logical_slot;
+    const auto sb = log.entry(b).logical_slot;
+    return sa != sb ? sa > sb : a > b;
   });
   for (const auto id : damage) {
     const auto& e = log.entry(id);
@@ -399,21 +401,10 @@ RecoveryOutcome RecoveryScheduler::execute(const RecoveryPlan& plan) {
   outcome.reconcile_ms = phase_ms(phase_start);
   reconcile_span.end();
 
-  sm.plans_executed.inc();
-  sm.undo_tasks.inc(outcome.undone.size());
-  sm.redo_tasks.inc(outcome.redone.size());
-  sm.fresh_tasks.inc(outcome.fresh_entries.size());
-  sm.reused_tasks.inc(outcome.reused);
-  sm.orphaned_tasks.inc(outcome.orphaned.size());
-  sm.repair_entries.inc(outcome.repair_entries.size());
-  sm.divergences.inc(outcome.divergences);
-  sm.work_units.inc(outcome.work_units);
-  sm.undo_depth.observe(static_cast<double>(outcome.undone.size()));
-  if (span.active()) {
-    span.set_detail("undone=" + std::to_string(outcome.undone.size()) +
-                    " redone=" + std::to_string(outcome.redone.size()) +
-                    " reused=" + std::to_string(outcome.reused));
-  }
+  // One serial timeline: busy time IS wall time.
+  outcome.undo_busy_ms = outcome.undo_ms;
+  outcome.replay_busy_ms = outcome.replay_ms;
+  outcome.reconcile_busy_ms = outcome.reconcile_ms;
   return outcome;
 }
 

@@ -28,10 +28,15 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "selfheal/engine/engine.hpp"
 #include "selfheal/recovery/plan.hpp"
+
+namespace selfheal::util {
+class ThreadPool;
+}
 
 namespace selfheal::recovery {
 
@@ -56,11 +61,29 @@ struct RecoveryOutcome {
   double undo_ms = 0.0;
   double replay_ms = 0.0;
   double reconcile_ms = 0.0;
+  /// Aggregate busy time per phase: the sum of time workers actually
+  /// spent executing phase work. Serial execution reports busy == wall;
+  /// under the parallel executor busy/wall is the effective speedup of
+  /// a phase and busy/(wall*workers) its efficiency.
+  double undo_busy_ms = 0.0;
+  double replay_busy_ms = 0.0;
+  double reconcile_busy_ms = 0.0;
+  /// Executors that ran this recovery (1 == serial strict schedule).
+  std::size_t workers_used = 1;
+  /// Speculate/validate rounds the parallel replay needed to converge
+  /// (1 for the serial sweep).
+  std::size_t replay_rounds = 1;
   /// Dynamically resolved Theorem 3 constraints (rules 8 and 10).
   std::vector<OrderConstraint> resolved;
 
   [[nodiscard]] bool was_undone(InstanceId id) const;
   [[nodiscard]] bool was_redone(InstanceId id) const;
+
+  /// Deterministic digest of every order-sensitive field (action sets in
+  /// commit order, resolved constraints, counters). Timing, worker
+  /// count, and round count are excluded: the parallel executor must
+  /// produce the same signature as the serial schedule.
+  [[nodiscard]] std::string signature() const;
 };
 
 struct SchedulerOptions {
@@ -72,6 +95,16 @@ struct SchedulerOptions {
   /// corrupt them, requiring further recovery rounds, and the paper
   /// notes termination is no longer guaranteed.
   bool clean_reads = true;
+  /// Workers for the DAG-parallel executor. 1 (default) runs the serial
+  /// strict schedule; > 1 runs speculative per-run replay walks plus a
+  /// deterministic slot-ordered commit merge on a thread pool, with a
+  /// guaranteed byte-identical result. Ignored (serial) when
+  /// clean_reads is false: the risky strategy's live-store reads are
+  /// inherently order-dependent.
+  std::size_t workers = 1;
+  /// Optional shared pool (borrowed). When null and workers > 1, a
+  /// pool of `workers` threads is created per execute() call.
+  util::ThreadPool* pool = nullptr;
 };
 
 class RecoveryScheduler {
@@ -84,6 +117,8 @@ class RecoveryScheduler {
   RecoveryOutcome execute(const RecoveryPlan& plan);
 
  private:
+  RecoveryOutcome execute_serial(const RecoveryPlan& plan);
+
   engine::Engine* engine_;
   SchedulerOptions options_;
 };

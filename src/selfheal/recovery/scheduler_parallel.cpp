@@ -1,0 +1,888 @@
+// DAG-parallel recovery executor.
+//
+// The serial scheduler (scheduler.cpp) is the specification; this
+// executor must produce a byte-identical log, store, outcome, and
+// durability record stream for every plan and worker count. The trick
+// is to parallelise COMPUTATION while keeping every COMMIT in the
+// serial strict schedule's deterministic order:
+//
+//  1. UNDO -- restore values are pure functions of the pre-round store
+//     (every new commit's seq is above every victim's restore point),
+//     so workers peek them concurrently; the undo log entries then
+//     commit serially in reverse slot order, and the store's version
+//     chains replay concurrently partitioned by object (the
+//     ActionGraph's undo_write_partitions), per-object order preserved
+//     under VersionedStore's stripe locks.
+//  2. REPLAY -- speculate/validate: each run's slot-ordered walk is
+//     re-computed in parallel against an immutable timeline of
+//     (slot, run, value) write records (cross-run coupling flows ONLY
+//     through these values; undone/visited state is own-run-local).
+//     After each round, every recorded read is re-validated against the
+//     merged timeline; invalid runs re-walk. Slot order makes the
+//     dependency relation acyclic, so the fixpoint is unique and equals
+//     the serial sweep. Converged walks then commit in global
+//     (slot, run) order -- exactly the serial pick_next_run interleave,
+//     since effective slots are unique -- with replay-phase undos
+//     applied live against the global undone-writer filter.
+//  3. RECONCILE -- the store-vs-timeline comparison shards over object
+//     ranges; fixes concatenate in object order into one kRepair.
+//
+// Durability: the scheduler brackets execute() in a durability group,
+// so the serial commit merge's record stream coalesces into one media
+// append without changing WAL bytes or record boundaries.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "selfheal/obs/trace.hpp"
+#include "selfheal/recovery/action_graph.hpp"
+#include "selfheal/recovery/replay_internal.hpp"
+#include "selfheal/recovery/replay_order.hpp"
+#include "selfheal/util/thread_pool.hpp"
+
+namespace selfheal::recovery::detail {
+
+namespace {
+
+using engine::InstanceId;
+using engine::SeqNo;
+using engine::Value;
+using wfspec::ObjectId;
+using wfspec::TaskId;
+
+/// Accumulates scope wall time into a shared busy-time counter.
+class ScopedBusy {
+ public:
+  explicit ScopedBusy(std::atomic<std::int64_t>& acc)
+      : acc_(acc), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedBusy() {
+    acc_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+  }
+  ScopedBusy(const ScopedBusy&) = delete;
+  ScopedBusy& operator=(const ScopedBusy&) = delete;
+
+ private:
+  std::atomic<std::int64_t>& acc_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One write record of the speculative clean timeline. A reader at
+/// (slot, run) observes the record with the largest (slot', run')
+/// lexicographically below it -- exactly the serial sweep's SimStore
+/// value, since the serial interleave advances the smallest slot first.
+struct TimelineRec {
+  SeqNo slot = 0;
+  engine::RunId run = engine::kInvalidRun;
+  Value value = 0;
+};
+
+using Timeline = std::map<ObjectId, std::vector<TimelineRec>>;
+
+bool rec_below(const TimelineRec& rec, const std::pair<SeqNo, engine::RunId>& key) {
+  return rec.slot != key.first ? rec.slot < key.first : rec.run < key.second;
+}
+
+/// Latest timeline value strictly before (slot, run); initial_value
+/// when no record precedes it. Used for post-merge validation.
+Value full_lookup(const Timeline& timeline, ObjectId object, SeqNo slot,
+                  engine::RunId run) {
+  const auto it = timeline.find(object);
+  if (it == timeline.end()) return engine::initial_value(object);
+  const auto& recs = it->second;
+  const auto pos = std::lower_bound(recs.begin(), recs.end(),
+                                    std::make_pair(slot, run), rec_below);
+  if (pos == recs.begin()) return engine::initial_value(object);
+  return std::prev(pos)->value;
+}
+
+/// One replay step as the walk decided it; the merge replays these
+/// decisions in global (slot, run) order.
+struct StepRec {
+  enum class Kind { kReuse, kRedo, kFresh };
+  SeqNo slot = 0;
+  Kind kind = Kind::kReuse;
+  InstanceId orig = engine::kInvalidInstance;  // kReuse / kRedo
+  bool stale_undo = false;     // undo-before-redo (Theorem 3 rule 3)
+  bool rule10 = false;         // candidate redo resolved on-path
+  InstanceId rule10_guard = engine::kInvalidInstance;
+  engine::TaskInstance prepared;  // kRedo / kFresh payload
+  std::size_t reads_checked = 0;  // reuse-check comparisons (work units)
+  bool diverged = false;
+  std::vector<InstanceId> cascade;  // rule-8 victims, serial order
+  std::size_t cascade_scanned = 0;
+};
+
+/// A read the walk performed against its timeline view; re-validated
+/// against the merged timeline after every round.
+struct LookupRec {
+  ObjectId object = 0;
+  SeqNo slot = 0;
+  Value value = 0;
+};
+
+struct RunWalk {
+  std::vector<StepRec> steps;
+  std::vector<LookupRec> lookups;
+  TaskId final_cursor = wfspec::kInvalidTask;
+  std::map<TaskId, int> visits;
+  bool diverged = false;
+  bool incarnation_overflow = false;
+};
+
+/// Frozen cross-run state shared by all walks of one recovery round.
+struct WalkShared {
+  const engine::Engine& engine;
+  const engine::SystemLog& log;
+  const EffectiveIndex& base_index;           // post-phase-1, frozen
+  const std::set<InstanceId>& base_undone;    // undone_now after phase 1
+  const std::map<InstanceId, InstanceId>& guard_of;
+  const std::vector<std::vector<InstanceId>>& slots_by_run;
+  const std::vector<std::vector<SeqNo>>& slot_values_by_run;
+  SeqNo overflow_base = 0;
+};
+
+/// Replays one run against the speculative timeline, recording per-step
+/// dispositions instead of committing. This is the serial replay loop
+/// specialised to a single run: the interleave with other runs affects
+/// it ONLY through timeline values (validated afterwards), because all
+/// undone/visited/index queries it makes are own-run-local and the
+/// phase-1 state is frozen.
+void walk_run(const WalkShared& shared, engine::RunId run,
+              const wfspec::WorkflowSpec& spec, bool was_active, bool aborted,
+              const Timeline& timeline, RunWalk& out) {
+  out = RunWalk{};
+  const auto& slot_ids = shared.slots_by_run[static_cast<std::size_t>(run)];
+
+  ReplayCursor cursor;
+  cursor.slots = shared.slot_values_by_run[static_cast<std::size_t>(run)];
+  cursor.overflow_base = shared.overflow_base;
+  const bool halted = was_active || aborted;
+  if (cursor.slots.empty() && (!was_active || aborted)) cursor.done = true;
+
+  // Own-run mutable state, overlaying the frozen base. The overlay's
+  // record_execution ids are placeholders (the real id is assigned at
+  // merge commit); they are never read back because a (task,
+  // incarnation) key is queried exactly once -- incarnations increase
+  // monotonically along the walk.
+  struct OState {
+    InstanceId id = engine::kInvalidInstance;
+    bool has_id = false;
+    bool undone = false;
+  };
+  std::map<std::pair<TaskId, int>, OState> overlay;
+  std::set<InstanceId> undone_local;
+  std::set<InstanceId> visited_local;
+  std::map<ObjectId, std::pair<SeqNo, Value>> own_writes;  // latest own write
+
+  const auto q_latest = [&](TaskId t, int i) -> std::optional<InstanceId> {
+    const auto it = overlay.find({t, i});
+    if (it != overlay.end()) {
+      if (it->second.has_id) return it->second.id;
+      return std::nullopt;
+    }
+    return shared.base_index.latest(run, t, i);
+  };
+  const auto q_undone = [&](TaskId t, int i) {
+    const auto it = overlay.find({t, i});
+    if (it != overlay.end()) return it->second.undone;
+    return shared.base_index.undone(run, t, i);
+  };
+  const auto l_mark_undone = [&](TaskId t, int i) {
+    auto& state = overlay[{t, i}];
+    if (!state.has_id) {
+      if (const auto base_id = shared.base_index.latest(run, t, i)) {
+        state.id = *base_id;
+        state.has_id = true;
+      }
+    }
+    state.undone = true;
+  };
+  const auto l_record_execution = [&](TaskId t, int i) {
+    overlay[{t, i}] = OState{engine::kInvalidInstance, true, false};
+  };
+  const auto undone_now_has = [&](InstanceId id) {
+    return shared.base_undone.count(id) > 0 || undone_local.count(id) > 0;
+  };
+
+  const auto sim_get = [&](ObjectId object, SeqNo slot) -> Value {
+    std::optional<std::pair<std::pair<SeqNo, engine::RunId>, Value>> best;
+    const auto it = timeline.find(object);
+    if (it != timeline.end()) {
+      const auto& recs = it->second;
+      auto pos = std::lower_bound(recs.begin(), recs.end(),
+                                  std::make_pair(slot, run), rec_below);
+      while (pos != recs.begin()) {
+        --pos;
+        if (pos->run != run) {  // own-run records come from own_writes
+          best = {{pos->slot, pos->run}, pos->value};
+          break;
+        }
+      }
+    }
+    const auto own = own_writes.find(object);
+    if (own != own_writes.end()) {
+      const std::pair<SeqNo, engine::RunId> key{own->second.first, run};
+      if (!best || best->first < key) best = {key, own->second.second};
+    }
+    const Value value = best ? best->second : engine::initial_value(object);
+    out.lookups.push_back({object, slot, value});
+    return value;
+  };
+
+  TaskId cur = spec.start();
+  std::size_t step_index = 0;
+  while (!cursor.done) {
+    if (halted && cursor.in_overflow()) {
+      cursor.done = true;
+      break;
+    }
+    const TaskId node = cur;
+    const int inc = ++out.visits[node];
+    if (inc > shared.engine.config().max_incarnations) {
+      out.incarnation_overflow = true;
+      break;
+    }
+    const SeqNo slot = cursor.next_slot(run);
+
+    const auto found = q_latest(node, inc);
+    std::optional<engine::TaskInstance> orig;
+    if (found) orig = shared.log.entry(*found);
+    std::optional<TaskId> old_choice;
+    if (orig.has_value()) old_choice = orig->chosen_successor;
+
+    StepRec step;
+    step.slot = slot;
+    std::optional<TaskId> chosen;
+    bool reused = false;
+    if (orig.has_value() && orig->kind != engine::ActionKind::kMalicious &&
+        !undone_now_has(orig->id) && !q_undone(node, inc)) {
+      reused = true;
+      for (std::size_t i = 0; i < orig->read_objects.size(); ++i) {
+        ++step.reads_checked;
+        if (sim_get(orig->read_objects[i], slot) != orig->read_values[i]) {
+          reused = false;
+          break;
+        }
+      }
+    }
+
+    if (reused) {
+      step.kind = StepRec::Kind::kReuse;
+      step.orig = orig->id;
+      visited_local.insert(orig->id);
+      for (std::size_t i = 0; i < orig->written_objects.size(); ++i) {
+        own_writes[orig->written_objects[i]] = {slot, orig->written_values[i]};
+      }
+      chosen = orig->chosen_successor;
+    } else {
+      std::vector<Value> clean_reads;
+      for (const auto object : spec.task(node).reads) {
+        clean_reads.push_back(sim_get(object, slot));
+      }
+      if (orig.has_value()) {
+        step.kind = StepRec::Kind::kRedo;
+        step.orig = orig->id;
+        step.stale_undo = !undone_now_has(orig->id) && !q_undone(node, inc);
+        if (step.stale_undo) {
+          undone_local.insert(orig->id);
+          l_mark_undone(node, inc);
+        }
+        const SeqNo slot_used = slot > 0 ? slot : orig->logical_slot;
+        step.prepared =
+            shared.engine.prepare_action(run, node, inc, engine::ActionKind::kRedo,
+                                         orig->id, slot_used, clean_reads);
+        visited_local.insert(orig->id);
+        const auto git = shared.guard_of.find(orig->id);
+        if (git != shared.guard_of.end()) {
+          step.rule10 = true;
+          step.rule10_guard = git->second;
+        }
+      } else {
+        step.kind = StepRec::Kind::kFresh;
+        step.prepared =
+            shared.engine.prepare_action(run, node, inc, engine::ActionKind::kFresh,
+                                         engine::kInvalidInstance, slot, clean_reads);
+      }
+      l_record_execution(node, inc);
+      for (std::size_t i = 0; i < step.prepared.written_objects.size(); ++i) {
+        own_writes[step.prepared.written_objects[i]] = {
+            slot, step.prepared.written_values[i]};
+      }
+      chosen = step.prepared.chosen_successor;
+    }
+
+    if (orig.has_value() && old_choice.has_value() && chosen.has_value() &&
+        *old_choice != *chosen) {
+      step.diverged = true;
+      out.diverged = true;
+      for (std::size_t i = slot_ids.size(); i-- > step_index + 1;) {
+        const auto victim = slot_ids[i];
+        ++step.cascade_scanned;
+        const auto& ve = shared.log.entry(victim);
+        if (visited_local.count(victim) || undone_now_has(victim) ||
+            q_undone(ve.task, ve.incarnation)) {
+          continue;
+        }
+        step.cascade.push_back(victim);
+        undone_local.insert(victim);
+        l_mark_undone(ve.task, ve.incarnation);
+      }
+    }
+
+    out.steps.push_back(std::move(step));
+    cursor.consume();
+    ++step_index;
+    if (chosen.has_value()) {
+      cur = *chosen;
+    } else if (spec.graph().out_degree(node) == 1) {
+      cur = spec.graph().successors(node)[0];
+    } else {
+      cursor.done = true;
+      cur = wfspec::kInvalidTask;
+    }
+    if (halted && cursor.in_overflow()) cursor.done = true;
+  }
+  out.final_cursor = cur;
+}
+
+/// One run's writes to the clean timeline, per object in step order.
+/// Two walks with equal contributions leave every timeline they touch
+/// byte-identical, which is what bounds each round's re-validation.
+using Contribution = std::map<ObjectId, std::vector<std::pair<SeqNo, Value>>>;
+
+Contribution contribution_of(const engine::SystemLog& log, const RunWalk& walk) {
+  Contribution c;
+  for (const auto& step : walk.steps) {
+    if (step.kind == StepRec::Kind::kReuse) {
+      const auto& orig = log.entry(step.orig);
+      for (std::size_t i = 0; i < orig.written_objects.size(); ++i) {
+        c[orig.written_objects[i]].emplace_back(step.slot, orig.written_values[i]);
+      }
+    } else {
+      for (std::size_t i = 0; i < step.prepared.written_objects.size(); ++i) {
+        c[step.prepared.written_objects[i]].emplace_back(
+            step.slot, step.prepared.written_values[i]);
+      }
+    }
+  }
+  return c;
+}
+
+/// Objects whose write sequence differs between two contributions.
+std::vector<ObjectId> contribution_diff(const Contribution& a, const Contribution& b) {
+  std::vector<ObjectId> out;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() || ib != b.end()) {
+    if (ib == b.end() || (ia != a.end() && ia->first < ib->first)) {
+      out.push_back(ia->first);
+      ++ia;
+    } else if (ia == a.end() || ib->first < ia->first) {
+      out.push_back(ib->first);
+      ++ib;
+    } else {
+      if (ia->second != ib->second) out.push_back(ia->first);
+      ++ia;
+      ++ib;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+RecoveryOutcome execute_parallel(engine::Engine& engine, const RecoveryPlan& plan,
+                                 const SchedulerOptions& options,
+                                 util::ThreadPool& pool) {
+  (void)options;
+  const auto phase_ms = [](std::chrono::steady_clock::time_point since) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+  };
+  const auto& log = engine.log();
+  const auto specs = engine.specs_by_run();
+  const std::size_t run_count = engine.run_count();
+  RecoveryOutcome outcome;
+  outcome.workers_used = pool.thread_count();
+
+  // Snapshot the effective execution BEFORE this round commits anything.
+  const auto effective = log.effective();
+  EffectiveIndex index(log);
+  std::vector<std::vector<InstanceId>> slots_by_run(run_count);
+  for (const auto id : effective) {
+    slots_by_run[static_cast<std::size_t>(log.entry(id).run)].push_back(id);
+  }
+
+  std::map<InstanceId, InstanceId> guard_of;
+  for (const auto& c : plan.candidate_undos) guard_of.emplace(c.instance, c.guard_branch);
+  for (const auto& c : plan.candidate_redos) guard_of.emplace(c.instance, c.guard_branch);
+
+  std::set<InstanceId> undone_now;
+
+  std::atomic<std::int64_t> undo_busy_ns{0};
+  std::atomic<std::int64_t> replay_busy_ns{0};
+  std::atomic<std::int64_t> reconcile_busy_ns{0};
+
+  engine.prepare_store_concurrency();
+
+  // ---- Phase 1: undo the damage closure, reverse slot order. ----
+  // Restore values are independent of this round's appends (every new
+  // seq is above every victim's restore point), so workers peek them
+  // concurrently; log entries then commit serially, and the store's
+  // per-object version chains replay concurrently.
+  obs::Span undo_span("scheduler.undo_phase", "recovery");
+  auto phase_start = std::chrono::steady_clock::now();
+  {
+    std::vector<InstanceId> damage = plan.damaged;
+    std::sort(damage.begin(), damage.end(), [&](InstanceId a, InstanceId b) {
+      const auto sa = log.entry(a).logical_slot;
+      const auto sb = log.entry(b).logical_slot;
+      return sa != sb ? sa > sb : a > b;
+    });
+
+    // Serial decision sweep: who commits, and with which skip cutoff.
+    // The serial skip filter at a victim's commit accepts exactly the
+    // damage entries processed before it (committed or skipped).
+    std::vector<InstanceId> victims;
+    std::vector<std::size_t> cutoffs;
+    std::map<InstanceId, std::size_t> first_pos;
+    {
+      const ScopedBusy busy(undo_busy_ns);
+      for (std::size_t pos = 0; pos < damage.size(); ++pos) {
+        first_pos.emplace(damage[pos], pos);
+      }
+      for (std::size_t pos = 0; pos < damage.size(); ++pos) {
+        const auto id = damage[pos];
+        const auto& e = log.entry(id);
+        if (index.undone(e.run, e.task, e.incarnation)) {
+          undone_now.insert(id);
+          continue;
+        }
+        victims.push_back(id);
+        cutoffs.push_back(pos);
+        index.mark_undone(e.run, e.task, e.incarnation);
+      }
+    }
+
+    // Concurrent peek of every victim's restore values.
+    std::vector<std::vector<Value>> restored(victims.size());
+    pool.for_index(victims.size(), [&](std::size_t p) {
+      const ScopedBusy busy(undo_busy_ns);
+      const auto cutoff = cutoffs[p];
+      const auto skip = [&](InstanceId writer) {
+        const auto it = first_pos.find(writer);
+        return it != first_pos.end() && it->second < cutoff;
+      };
+      restored[p] = engine.peek_undo_values(victims[p], skip);
+    });
+
+    // Serial commit of the undo log entries, in reverse slot order.
+    std::vector<InstanceId> undo_ids(victims.size());
+    {
+      const ScopedBusy busy(undo_busy_ns);
+      for (std::size_t p = 0; p < victims.size(); ++p) {
+        undo_ids[p] = engine.commit_undo_prepared(victims[p], std::move(restored[p]));
+        undone_now.insert(victims[p]);
+        outcome.undone.push_back(victims[p]);
+        outcome.action_entries.push_back(undo_ids[p]);
+        outcome.work_units += log.entry(victims[p]).written_objects.size() + 1;
+      }
+    }
+
+    // Concurrent store replay, partitioned by object: each object's
+    // version chain appends in undo commit order (ascending seq).
+    const auto partitions = undo_write_partitions(log, victims);
+    std::vector<ObjectId> objects;
+    objects.reserve(partitions.size());
+    for (const auto& [object, writes] : partitions) objects.push_back(object);
+    pool.for_index(objects.size(), [&](std::size_t j) {
+      const ScopedBusy busy(undo_busy_ns);
+      for (const auto& [rank, write_index] : partitions.at(objects[j])) {
+        const auto& undo_entry = log.entry(undo_ids[rank]);
+        engine.write_restored_version(objects[j],
+                                      undo_entry.written_values[write_index],
+                                      undo_entry.seq, undo_entry.id);
+      }
+    });
+  }
+  outcome.undo_ms = phase_ms(phase_start);
+  undo_span.end();
+
+  // ---- Phase 2: speculate/validate replay, slot-ordered commit merge. ----
+  obs::Span replay_span("scheduler.replay_phase", "recovery");
+  phase_start = std::chrono::steady_clock::now();
+
+  SeqNo overflow_base = log.next_slot();
+  for (const auto id : effective) {
+    overflow_base = std::max(overflow_base, log.entry(id).logical_slot + 1);
+  }
+  std::vector<std::vector<SeqNo>> slot_values_by_run(run_count);
+  std::vector<char> run_was_active(run_count, 0);
+  std::vector<char> run_aborted(run_count, 0);
+  for (std::size_t r = 0; r < run_count; ++r) {
+    for (const auto id : slots_by_run[r]) {
+      slot_values_by_run[r].push_back(log.entry(id).logical_slot);
+    }
+    run_was_active[r] = engine.run_active(static_cast<engine::RunId>(r)) ? 1 : 0;
+    run_aborted[r] = engine.run_aborted(static_cast<engine::RunId>(r)) ? 1 : 0;
+  }
+
+  const WalkShared shared{engine,       log,
+                          index,        undone_now,
+                          guard_of,     slots_by_run,
+                          slot_values_by_run, overflow_base};
+
+  // Per-run state of the CURRENT walk: its timeline contribution (to
+  // diff against the next walk -- only a changed contribution can alter
+  // a timeline) and the objects it read (to scope re-validation to runs
+  // that could actually observe a changed value). Contributions are
+  // seeded from the surviving recorded execution, which round 1's
+  // all-reuse walks reproduce verbatim, so even the first diff is small.
+  std::vector<Contribution> contrib(run_count);
+  std::vector<std::vector<ObjectId>> reads_of(run_count);
+
+  // Runs a blocked parallel loop: ranges claimed from the pool amortise
+  // both the pool's per-claim lock and the busy-clock reads.
+  const auto for_blocked = [&pool](std::size_t count, std::atomic<std::int64_t>& busy_ns,
+                                   const std::function<void(std::size_t)>& body) {
+    const std::size_t grain =
+        std::max<std::size_t>(1, count / (8 * pool.thread_count()));
+    const std::size_t blocks = (count + grain - 1) / grain;
+    pool.for_index(blocks, [&](std::size_t b) {
+      const ScopedBusy busy(busy_ns);
+      const std::size_t end = std::min(count, (b + 1) * grain);
+      for (std::size_t i = b * grain; i < end; ++i) body(i);
+    });
+  };
+
+  // Initial speculation: the surviving recorded execution stands. Each
+  // run's seed contribution is independent (parallel); the per-object
+  // merge appends serially, then the sorts shard by object.
+  Timeline timeline;
+  {
+    for_blocked(run_count, replay_busy_ns, [&](std::size_t r) {
+      for (const auto id : slots_by_run[r]) {
+        if (undone_now.count(id) > 0) continue;
+        const auto& e = log.entry(id);
+        for (std::size_t i = 0; i < e.written_objects.size(); ++i) {
+          contrib[r][e.written_objects[i]].emplace_back(e.logical_slot,
+                                                        e.written_values[i]);
+        }
+      }
+    });
+    {
+      const ScopedBusy busy(replay_busy_ns);
+      for (std::size_t r = 0; r < run_count; ++r) {
+        for (const auto& [object, writes] : contrib[r]) {
+          auto& recs = timeline[object];
+          for (const auto& [slot, value] : writes) {
+            recs.push_back({slot, static_cast<engine::RunId>(r), value});
+          }
+        }
+      }
+    }
+    std::vector<std::vector<TimelineRec>*> vecs;
+    vecs.reserve(timeline.size());
+    for (auto& [object, recs] : timeline) vecs.push_back(&recs);
+    for_blocked(vecs.size(), replay_busy_ns, [&](std::size_t v) {
+      std::stable_sort(vecs[v]->begin(), vecs[v]->end(),
+                       [](const TimelineRec& a, const TimelineRec& b) {
+                         return a.slot != b.slot ? a.slot < b.slot : a.run < b.run;
+                       });
+    });
+  }
+
+  std::vector<RunWalk> walks(run_count);
+  std::vector<char> needs_walk(run_count, 1);
+  std::size_t rounds = 0;
+  while (true) {
+    ++rounds;
+    std::vector<std::size_t> to_walk;
+    for (std::size_t r = 0; r < run_count; ++r) {
+      if (needs_walk[r]) to_walk.push_back(r);
+    }
+    // Walk, then diff each new walk's contribution against its previous
+    // one -- all inside the pool; only the tiny splice below is serial.
+    std::vector<Contribution> new_contrib(to_walk.size());
+    std::vector<std::vector<ObjectId>> walk_changed(to_walk.size());
+    for_blocked(to_walk.size(), replay_busy_ns, [&](std::size_t k) {
+      const auto r = to_walk[k];
+      walk_run(shared, static_cast<engine::RunId>(r), *specs[r],
+               run_was_active[r] != 0, run_aborted[r] != 0, timeline, walks[r]);
+      new_contrib[k] = contribution_of(log, walks[r]);
+      walk_changed[k] = contribution_diff(contrib[r], new_contrib[k]);
+      auto& rd = reads_of[r];
+      rd.clear();
+      for (const auto& lk : walks[r].lookups) rd.push_back(lk.object);
+      std::sort(rd.begin(), rd.end());
+      rd.erase(std::unique(rd.begin(), rd.end()), rd.end());
+    });
+
+    std::size_t total_steps = 0;
+    std::vector<ObjectId> changed;  // sorted: map iteration order below
+    {
+      const ScopedBusy busy(replay_busy_ns);
+      // Rebuild exactly the timelines some contribution changed: drop
+      // those runs' records, splice in their new writes, restore
+      // (slot, run) order. Identical to a full rebuild -- unchanged
+      // contributions are byte-identical records, surviving records keep
+      // their relative order, and equal (slot, run) keys only occur
+      // within one step's write list, whose order the splice preserves.
+      std::map<ObjectId, std::vector<std::size_t>> dirty_by;
+      for (std::size_t k = 0; k < to_walk.size(); ++k) {
+        const auto r = to_walk[k];
+        for (const auto object : walk_changed[k]) {
+          dirty_by[object].push_back(r);  // to_walk ascending => sorted
+        }
+        contrib[r] = std::move(new_contrib[k]);
+      }
+      changed.reserve(dirty_by.size());
+      for (const auto& [object, runs] : dirty_by) {
+        changed.push_back(object);
+        auto& recs = timeline[object];
+        recs.erase(std::remove_if(recs.begin(), recs.end(),
+                                  [&](const TimelineRec& rec) {
+                                    return std::binary_search(
+                                        runs.begin(), runs.end(),
+                                        static_cast<std::size_t>(rec.run));
+                                  }),
+                   recs.end());
+        for (const auto r : runs) {
+          const auto it = contrib[r].find(object);
+          if (it == contrib[r].end()) continue;
+          for (const auto& [slot, value] : it->second) {
+            recs.push_back({slot, static_cast<engine::RunId>(r), value});
+          }
+        }
+        std::stable_sort(recs.begin(), recs.end(),
+                         [](const TimelineRec& a, const TimelineRec& b) {
+                           return a.slot != b.slot ? a.slot < b.slot : a.run < b.run;
+                         });
+      }
+      for (std::size_t r = 0; r < run_count; ++r) {
+        total_steps += walks[r].steps.size();
+      }
+    }
+
+    // Only a lookup of an actually-changed object can flip a verdict:
+    // every other lookup resolves against a byte-identical record vector
+    // (a re-walked run's fresh lookups included -- its walk resolved
+    // them against this same merged state for unchanged objects).
+    std::vector<std::size_t> to_check;
+    for (std::size_t r = 0; r < run_count; ++r) {
+      for (const auto object : reads_of[r]) {
+        if (std::binary_search(changed.begin(), changed.end(), object)) {
+          to_check.push_back(r);
+          break;
+        }
+      }
+    }
+    std::vector<char> invalid(run_count, 0);
+    for_blocked(to_check.size(), replay_busy_ns, [&](std::size_t k) {
+      const auto r = to_check[k];
+      for (const auto& lk : walks[r].lookups) {
+        if (!std::binary_search(changed.begin(), changed.end(), lk.object)) {
+          continue;
+        }
+        if (full_lookup(timeline, lk.object, lk.slot,
+                        static_cast<engine::RunId>(r)) != lk.value) {
+          invalid[r] = 1;
+          break;
+        }
+      }
+    });
+    needs_walk = invalid;
+
+    // A run whose reads all validate behaves exactly as under the
+    // serial sweep; if its walk overran the incarnation bound, the
+    // serial schedule would have thrown too. Checking the walked and
+    // checked sets covers every run whose walk or verdict is new.
+    for (const auto r : to_walk) {
+      if (invalid[r] == 0 && walks[r].incarnation_overflow) {
+        throw std::runtime_error(
+            "RecoveryScheduler: replay exceeded max incarnations");
+      }
+    }
+    for (const auto r : to_check) {
+      if (invalid[r] == 0 && walks[r].incarnation_overflow) {
+        throw std::runtime_error(
+            "RecoveryScheduler: replay exceeded max incarnations");
+      }
+    }
+    bool any_invalid = false;
+    for (std::size_t r = 0; r < run_count; ++r) {
+      any_invalid = any_invalid || invalid[r] != 0;
+    }
+    if (std::getenv("SELFHEAL_DEBUG_ROUNDS")) {
+      std::size_t n_invalid = 0;
+      for (const auto v : invalid) n_invalid += v != 0;
+      std::fprintf(stderr,
+                   "round %zu: walked %zu, checked %zu, changed %zu, invalid %zu\n",
+                   rounds, to_walk.size(), to_check.size(), changed.size(),
+                   n_invalid);
+    }
+    if (!any_invalid) break;
+    // Each round finalises at least the earliest not-yet-final step, so
+    // convergence is bounded by the total step count (plus slack).
+    if (rounds > total_steps + run_count + 8) {
+      throw std::logic_error("RecoveryScheduler: parallel replay failed to converge");
+    }
+  }
+  outcome.replay_rounds = rounds;
+
+  // Deterministic commit merge: global (slot, run) order IS the serial
+  // pick_next_run interleave (slots are unique; run index breaks ties).
+  {
+    const ScopedBusy busy(replay_busy_ns);
+    struct StepRef {
+      SeqNo slot;
+      engine::RunId run;
+      StepRec* step;
+    };
+    std::vector<StepRef> order;
+    for (std::size_t r = 0; r < run_count; ++r) {
+      for (auto& step : walks[r].steps) {
+        order.push_back({step.slot, static_cast<engine::RunId>(r), &step});
+      }
+    }
+    std::sort(order.begin(), order.end(), [](const StepRef& a, const StepRef& b) {
+      return a.slot != b.slot ? a.slot < b.slot : a.run < b.run;
+    });
+
+    const auto skip_undone = [&undone_now](InstanceId writer) {
+      return undone_now.count(writer) > 0;
+    };
+    const auto commit_undo = [&](InstanceId victim) {
+      const auto uid = engine.apply_undo(victim, skip_undone);
+      undone_now.insert(victim);
+      outcome.undone.push_back(victim);
+      outcome.action_entries.push_back(uid);
+      outcome.work_units += log.entry(victim).written_objects.size() + 1;
+    };
+
+    // Reused/redone originals are pre-merge ids, so a flat bitmap
+    // suffices (commits append new ids but never mark them visited).
+    std::vector<char> visited(log.size(), 0);
+    const auto mark_visited = [&visited](InstanceId id) {
+      const auto i = static_cast<std::size_t>(id);
+      if (i < visited.size()) visited[i] = 1;
+    };
+    for (const auto& ref : order) {
+      StepRec& step = *ref.step;
+      outcome.work_units += step.reads_checked;
+      if (step.kind == StepRec::Kind::kReuse) {
+        mark_visited(step.orig);
+        ++outcome.reused;
+      } else {
+        InstanceId exec_id;
+        if (step.kind == StepRec::Kind::kRedo) {
+          if (step.stale_undo) commit_undo(step.orig);
+          exec_id = engine.commit_action(std::move(step.prepared));
+          outcome.redone.push_back(step.orig);
+          mark_visited(step.orig);
+          if (step.rule10) {
+            outcome.resolved.push_back(OrderConstraint{
+                ActionType::kRedo, step.rule10_guard, ActionType::kRedo, step.orig, 10});
+          }
+        } else {
+          exec_id = engine.commit_action(std::move(step.prepared));
+          outcome.fresh_entries.push_back(exec_id);
+        }
+        outcome.action_entries.push_back(exec_id);
+        const auto& exec = log.entry(exec_id);
+        outcome.work_units +=
+            exec.read_objects.size() + exec.written_objects.size() + 1;
+      }
+      if (step.diverged) {
+        ++outcome.divergences;
+        for (const auto victim : step.cascade) {
+          commit_undo(victim);
+          outcome.resolved.push_back(OrderConstraint{
+              ActionType::kRedo, step.orig, ActionType::kUndo, victim, 8});
+        }
+        outcome.work_units += step.cascade_scanned;
+      }
+    }
+
+    // Resync in-flight runs whose path changed, in run order.
+    for (std::size_t r = 0; r < run_count; ++r) {
+      if (run_was_active[r] != 0 && run_aborted[r] == 0 && walks[r].diverged) {
+        engine.resume_run(static_cast<engine::RunId>(r), walks[r].final_cursor,
+                          walks[r].visits);
+      }
+    }
+    for (const auto id : outcome.undone) {
+      const auto i = static_cast<std::size_t>(id);
+      if (i >= visited.size() || visited[i] == 0) outcome.orphaned.push_back(id);
+    }
+  }
+  outcome.replay_ms = phase_ms(phase_start);
+  replay_span.end();
+
+  // ---- Phase 3: reconcile masked writes, sharded by object range. ----
+  obs::Span reconcile_span("scheduler.reconcile_phase", "recovery");
+  phase_start = std::chrono::steady_clock::now();
+  {
+    // Merge commits extended the store; re-materialise before readers shard.
+    engine.prepare_store_concurrency();
+    const auto& store = engine.store();
+    const std::size_t object_count = store.object_count();
+    const auto sim_final = [&](ObjectId object) -> Value {
+      const auto it = timeline.find(object);
+      if (it == timeline.end() || it->second.empty()) {
+        return engine::initial_value(object);
+      }
+      return it->second.back().value;
+    };
+
+    constexpr std::size_t kChunk = 512;
+    const std::size_t chunks = (object_count + kChunk - 1) / kChunk;
+    std::vector<std::vector<std::pair<ObjectId, Value>>> chunk_fixes(chunks);
+    pool.for_index(chunks, [&](std::size_t c) {
+      const ScopedBusy busy(reconcile_busy_ns);
+      const std::size_t begin = c * kChunk;
+      const std::size_t end = std::min(object_count, begin + kChunk);
+      for (std::size_t o = begin; o < end; ++o) {
+        const auto object = static_cast<ObjectId>(o);
+        const auto clean = sim_final(object);
+        if (store.read(object) != clean) chunk_fixes[c].emplace_back(object, clean);
+      }
+    });
+    outcome.work_units += object_count;
+
+    const ScopedBusy busy(reconcile_busy_ns);
+    std::vector<std::pair<ObjectId, Value>> fixes;
+    for (auto& chunk : chunk_fixes) {
+      fixes.insert(fixes.end(), chunk.begin(), chunk.end());
+    }
+    for (const auto& [object, recs] : timeline) {
+      if (static_cast<std::size_t>(object) >= object_count && !recs.empty()) {
+        fixes.emplace_back(object, recs.back().value);
+      }
+    }
+    if (!fixes.empty()) {
+      const auto rid = engine.apply_repair(fixes);
+      outcome.repair_entries.push_back(rid);
+      outcome.action_entries.push_back(rid);
+    }
+  }
+  outcome.reconcile_ms = phase_ms(phase_start);
+  reconcile_span.end();
+
+  outcome.undo_busy_ms = static_cast<double>(undo_busy_ns.load()) / 1e6;
+  outcome.replay_busy_ms = static_cast<double>(replay_busy_ns.load()) / 1e6;
+  outcome.reconcile_busy_ms = static_cast<double>(reconcile_busy_ns.load()) / 1e6;
+  return outcome;
+}
+
+}  // namespace selfheal::recovery::detail

@@ -31,12 +31,14 @@ void ThreadPool::run_indices() {
   // Caller holds mu_ on entry and exit; released around each body call.
   std::unique_lock<std::mutex> lock(mu_, std::adopt_lock);
   while (job_next_ < job_count_) {
-    const std::size_t index = job_next_++;
+    const std::size_t begin = job_next_;
+    const std::size_t end = std::min(job_count_, begin + job_grain_);
+    job_next_ = end;
     ++job_inflight_;
     lock.unlock();
     std::exception_ptr error;
     try {
-      (*job_body_)(index);
+      for (std::size_t index = begin; index < end; ++index) (*job_body_)(index);
     } catch (...) {
       error = std::current_exception();
     }
@@ -67,6 +69,11 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::for_index(std::size_t count, const std::function<void(std::size_t)>& body) {
+  for_index_grained(count, 1, body);
+}
+
+void ThreadPool::for_index_grained(std::size_t count, std::size_t grain,
+                                   const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
   if (workers_.empty() || count == 1) {
     for (std::size_t i = 0; i < count; ++i) body(i);
@@ -76,6 +83,7 @@ void ThreadPool::for_index(std::size_t count, const std::function<void(std::size
   job_body_ = &body;
   job_count_ = count;
   job_next_ = 0;
+  job_grain_ = grain == 0 ? 1 : grain;
   job_inflight_ = 0;
   job_error_ = nullptr;
   ++generation_;

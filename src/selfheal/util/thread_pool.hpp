@@ -38,6 +38,12 @@ class ThreadPool {
   /// (remaining indices are abandoned). Not reentrant.
   void for_index(std::size_t count, const std::function<void(std::size_t)>& body);
 
+  /// for_index with chunked claiming: workers grab `grain` consecutive
+  /// indices at a time instead of one, trading scheduling overhead for
+  /// load balance. grain <= 1 behaves exactly like for_index.
+  void for_index_grained(std::size_t count, std::size_t grain,
+                         const std::function<void(std::size_t)>& body);
+
   [[nodiscard]] static std::size_t hardware_threads();
 
  private:
@@ -54,6 +60,7 @@ class ThreadPool {
   std::uint64_t generation_ = 0;      // bumped per for_index call
   std::size_t job_count_ = 0;         // total indices in the current job
   std::size_t job_next_ = 0;          // next unclaimed index
+  std::size_t job_grain_ = 1;         // indices claimed per grab
   std::size_t job_inflight_ = 0;      // claimed but not yet finished
   const std::function<void(std::size_t)>* job_body_ = nullptr;
   std::exception_ptr job_error_;
