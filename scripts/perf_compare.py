@@ -19,6 +19,12 @@ from the JSON's "bench" field and dispatched to a per-bench metric map:
   * storage_recovery     -- recovery_sweep rows keyed by `workflows`;
     watches `recover_ms` (snapshot decode + WAL replay) at the largest
     fleet.
+  * service_load         -- tenant_sweep rows keyed by `tenants`;
+    watches `wall_ms`. The same rows carry deterministic totals
+    (`runs`, `log_entries`, `scans`, `recoveries`) -- pure functions of
+    the seeded trace -- plus the `strict_correct` / `oracle_identical`
+    verdicts, all exact-gated; a fresh run where either verdict is not
+    true is a hard failure.
 
 Prints one markdown comparison table per pair (also appended to
 --summary-out, which CI points at $GITHUB_STEP_SUMMARY) and emits a
@@ -47,6 +53,10 @@ BENCHES = {
             "keys": ("workflows", "workers"),
             "exact": ("makespan_units", "speedup_vs_serial", "replay_rounds",
                       "equivalent"),
+            # Fields that must be literally true in the FRESH artifact,
+            # baseline aside -- a false here is broken correctness, not
+            # drift.
+            "must_true": ("equivalent",),
         },
     },
     "ctmc_scalability": {
@@ -60,6 +70,19 @@ BENCHES = {
         "key": "workflows",
         "columns": ("checkpoint_ms", "scan_ms", "recover_ms"),
         "watch": "recover_ms",
+    },
+    "service_load": {
+        "rows": "tenant_sweep",
+        "key": "tenants",
+        "columns": ("wall_ms", "ack_p99_us", "heal_p99_us"),
+        "watch": "wall_ms",
+        "det": {
+            "rows": "tenant_sweep",
+            "keys": ("tenants", "workers"),
+            "exact": ("runs", "log_entries", "scans", "recoveries",
+                      "strict_correct", "oracle_identical"),
+            "must_true": ("strict_correct", "oracle_identical"),
+        },
     },
 }
 
@@ -116,11 +139,13 @@ def compare_det(bench, det, baseline_data, fresh_data):
                     f"({key_label})={k} {col}: baseline {b} != fresh {f}"
                 )
         lines.append(f"| {k} |" + "".join(cells))
-        if fresh[k].get("equivalent") is not True:
-            errors.append(
-                f"::error title=perf-smoke::{bench} {det['rows']} "
-                f"({key_label})={k}: parallel executor NOT equivalent to serial"
-            )
+        for col in det.get("must_true", ()):
+            if fresh[k].get(col) is not True:
+                errors.append(
+                    f"::error title=perf-smoke::{bench} {det['rows']} "
+                    f"({key_label})={k}: {col} is "
+                    f"{fresh[k].get(col)!r}, must be true"
+                )
     skipped = sorted((set(base) | set(fresh)) - set(shared))
     lines.append("")
     if skipped:

@@ -101,6 +101,15 @@ class DurableSessionStore final : public DurabilityObserver {
   /// never resumes from a state mid-way through it.
   void begin_batch() { batch_open_ = true; }
   void end_batch();
+  /// Abandons the open batch WITHOUT emitting a record -- the exception
+  /// path. The media keeps only whole committed steps, so a step that
+  /// threw half-way leaves the WAL exactly as it was at the previous
+  /// step boundary (recover() then resumes from there). No-op when no
+  /// batch is open.
+  void abort_batch() noexcept {
+    batch_open_ = false;
+    batch_.clear();
+  }
 
   /// Group-commit scope: records emitted between begin_group() and
   /// end_group() keep their individual frames (the WAL byte stream and

@@ -1,0 +1,105 @@
+#include "selfheal/service/client.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace selfheal::service {
+
+void ResponseSlot::fill(const Response& response) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    response_ = response;
+    ready_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool ResponseSlot::ready() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ready_;
+}
+
+const Response& ResponseSlot::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return ready_; });
+  return response_;
+}
+
+CallResult ServiceClient::send(const Request& request) {
+  CallResult result;
+  auto slot = std::make_shared<ResponseSlot>();
+  const std::string frame = encode_frame(request);
+  result.ack = daemon_->submit(
+      tenant_, frame,
+      [slot](const Response& response) { slot->fill(response); });
+  if (result.ack.accepted) result.slot = std::move(slot);
+  return result;
+}
+
+CallResult ServiceClient::submit_run(const std::string& run_name,
+                                     const std::string& spec_dsl,
+                                     std::vector<AttackMark> attacks) {
+  Request request;
+  request.kind = RequestKind::kSubmitRun;
+  request.run_name = run_name;
+  request.spec_dsl = spec_dsl;
+  request.attacks = std::move(attacks);
+  return send(request);
+}
+
+CallResult ServiceClient::alert(std::uint32_t run_index) {
+  Request request;
+  request.kind = RequestKind::kAlert;
+  request.alert_run = run_index;
+  return send(request);
+}
+
+CallResult ServiceClient::query() {
+  Request request;
+  request.kind = RequestKind::kQuery;
+  return send(request);
+}
+
+CallResult ServiceClient::drain() {
+  Request request;
+  request.kind = RequestKind::kDrain;
+  return send(request);
+}
+
+Response ServiceClient::call(const Request& request) {
+  for (;;) {
+    CallResult result = send(request);
+    if (result.ack.accepted) {
+      if (!daemon_->running()) {
+        // Inline mode: this thread must do the daemon's work itself.
+        while (!result.slot->ready() && daemon_->dispatch_once()) {
+        }
+      }
+      return result.slot->wait();
+    }
+    const auto reason = result.ack.reason;
+    if (reason == RejectReason::kQueueFull ||
+        reason == RejectReason::kByteBudget) {
+      // Backpressure: make room and retry.
+      if (daemon_->running()) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      } else if (!daemon_->dispatch_once()) {
+        // Nothing to pump and still rejected: the queue is wedged by
+        // something that will never clear inline; report the rejection.
+        Response response;
+        response.ok = false;
+        response.kind = request.kind;
+        response.error = to_token(reason);
+        return response;
+      }
+      continue;
+    }
+    Response response;
+    response.ok = false;
+    response.kind = request.kind;
+    response.error = to_token(reason);
+    return response;
+  }
+}
+
+}  // namespace selfheal::service

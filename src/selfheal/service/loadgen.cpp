@@ -1,0 +1,256 @@
+#include "selfheal/service/loadgen.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "selfheal/engine/durable_session.hpp"
+#include "selfheal/engine/session_io.hpp"
+#include "selfheal/recovery/controller.hpp"
+#include "selfheal/recovery/correctness.hpp"
+#include "selfheal/util/rng.hpp"
+#include "selfheal/wfspec/parser.hpp"
+
+namespace selfheal::service {
+
+namespace {
+
+/// One workload shape: DSL text plus the tasks an attack may mark.
+/// Templates deliberately REUSE object names across runs (and across
+/// templates: `x`), so a corrupted write in one run infects later runs
+/// and the analyzer has real cross-run dependence chains to walk.
+struct SpecTemplate {
+  const char* dsl;
+  std::vector<const char*> attack_tasks;
+};
+
+const std::vector<SpecTemplate>& spec_templates() {
+  static const std::vector<SpecTemplate> kTemplates = {
+      {"workflow pipeline\n"
+       "task a writes x\n"
+       "task b reads x writes y\n"
+       "task c reads y writes z\n"
+       "task d reads z x writes w\n"
+       "edge a b\n"
+       "edge b c\n"
+       "edge c d\n",
+       {"a", "b"}},
+      {"workflow fork\n"
+       "task src writes s\n"
+       "task pick reads s x writes f selector s\n"
+       "task left reads f\n"
+       "task right reads f s\n"
+       "edge src pick\n"
+       "edge pick left right\n",
+       {"src", "pick"}},
+      {"workflow ledger\n"
+       "task load reads x writes m\n"
+       "task post reads y m writes n\n"
+       "task close reads n writes p\n"
+       "edge load post\n"
+       "edge post close\n",
+       {"load", "post"}},
+  };
+  return kTemplates;
+}
+
+}  // namespace
+
+std::vector<TimedRequest> make_tenant_trace(const StormConfig& config,
+                                            std::uint64_t tenant) {
+  // Per-tenant stream: golden-ratio mix so tenant 0 and tenant 1 share
+  // nothing even under the same storm seed.
+  util::Rng rng(config.seed ^ ((tenant + 1) * 0x9e3779b97f4a7c15ULL));
+  const auto& templates = spec_templates();
+
+  std::vector<TimedRequest> trace;
+  trace.reserve(config.submissions * 2);
+
+  double now = 0.0;
+  bool burst = false;
+  double switch_at = now + rng.exponential(config.burst.quiet_to_burst);
+  std::uint32_t run_index = 0;
+  while (run_index < config.submissions) {
+    const double rate =
+        burst ? config.burst.lambda_burst : config.burst.lambda_quiet;
+    const double arrival = now + rng.exponential(rate);
+    if (arrival >= switch_at) {
+      now = switch_at;
+      burst = !burst;
+      switch_at = now + rng.exponential(burst ? config.burst.burst_to_quiet
+                                              : config.burst.quiet_to_burst);
+      continue;
+    }
+    now = arrival;
+
+    const auto& tmpl = templates[rng.index_into(templates)];
+    TimedRequest submit;
+    submit.at = now;
+    submit.request.kind = RequestKind::kSubmitRun;
+    submit.request.run_name = "run-" + std::to_string(run_index);
+    submit.request.spec_dsl = tmpl.dsl;
+    const bool attacked =
+        rng.chance(burst ? config.attack_p_burst : config.attack_p_quiet);
+    if (attacked) {
+      AttackMark mark;
+      mark.task = tmpl.attack_tasks[rng.index_into(tmpl.attack_tasks)];
+      mark.incarnation = 1;
+      submit.request.attacks.push_back(std::move(mark));
+    }
+    trace.push_back(std::move(submit));
+
+    if (attacked) {
+      TimedRequest alert;
+      alert.at = now + rng.exponential(1.0 / config.mean_detection_delay);
+      alert.request.kind = RequestKind::kAlert;
+      alert.request.alert_run = run_index;
+      trace.push_back(std::move(alert));
+    }
+    ++run_index;
+  }
+
+  // Alerts interleave with later submissions by detection time; stable
+  // sort keeps the submit-before-its-own-alert order at equal times.
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const TimedRequest& a, const TimedRequest& b) {
+                     return a.at < b.at;
+                   });
+  return trace;
+}
+
+namespace {
+
+std::vector<engine::Value> effective_store(const engine::Engine& engine) {
+  // Final value per object under the log's EFFECTIVE schedule (the same
+  // definition the chaos harness gates on): the raw live store is not
+  // comparable, it retains stale physical versions of undone writes.
+  std::vector<engine::Value> values;
+  for (const auto id : engine.log().effective()) {
+    const auto& entry = engine.log().entry(id);
+    for (std::size_t i = 0; i < entry.written_objects.size(); ++i) {
+      const auto object = static_cast<std::size_t>(entry.written_objects[i]);
+      if (object >= values.size()) values.resize(object + 1, engine::Value{});
+      values[object] = entry.written_values[i];
+    }
+  }
+  return values;
+}
+
+TenantEndState capture(engine::Engine& engine,
+                       engine::DurableSessionStore* durable,
+                       const recovery::ControllerStats& stats) {
+  TenantEndState state;
+  std::ostringstream session;
+  engine::save_session(engine, session);
+  state.session = session.str();
+  if (durable != nullptr) state.wal = durable->wal();
+  state.store = effective_store(engine);
+  state.log_entries = engine.log().size();
+  state.scans = stats.scans;
+  state.recoveries = stats.recoveries;
+  state.strict_correct =
+      recovery::CorrectnessChecker(engine).check().strict_correct();
+  return state;
+}
+
+}  // namespace
+
+TenantEndState capture_tenant_state(Tenant& tenant) {
+  return capture(tenant.engine(), tenant.durable_store(),
+                 tenant.controller().stats());
+}
+
+TenantEndState run_drive_once_oracle(const TenantConfig& config,
+                                     const std::vector<TimedRequest>& trace) {
+  // Deliberately re-built from primitives (no Tenant, no daemon): the
+  // oracle shares only the documented step contract with the service --
+  // requests handle in arrival order, recovery drains to NORMAL first,
+  // one step per WAL batch.
+  wfspec::ObjectCatalog catalog;
+  engine::Engine engine(config.engine);
+  std::unique_ptr<engine::DurableSessionStore> durable;
+  if (config.durable) {
+    durable = std::make_unique<engine::DurableSessionStore>();
+    durable->checkpoint(engine);
+    engine.set_durability_observer(durable.get());
+  }
+  auto controller = std::make_unique<recovery::SelfHealingController>(
+      engine, config.controller);
+  std::vector<std::unique_ptr<wfspec::WorkflowSpec>> specs;
+  std::vector<engine::RunId> runs;
+
+  const auto batched = [&](const auto& work) {
+    if (durable != nullptr) durable->begin_batch();
+    work();
+    if (durable != nullptr) durable->end_batch();
+  };
+  const auto heal_to_normal = [&] {
+    while (controller->state() != recovery::SystemState::kNormal) {
+      batched([&] {
+        if (!controller->scan_one() && !controller->recover_one()) {
+          throw std::logic_error("oracle: controller stalled");
+        }
+      });
+    }
+  };
+
+  for (const auto& timed : trace) {
+    heal_to_normal();
+    const Request& request = timed.request;
+    switch (request.kind) {
+      case RequestKind::kSubmitRun: {
+        auto spec = std::make_unique<wfspec::WorkflowSpec>(
+            wfspec::parse_workflow(request.spec_dsl, catalog));
+        std::vector<std::pair<wfspec::TaskId, int>> attacks;
+        for (const auto& mark : request.attacks) {
+          attacks.emplace_back(spec->task_by_name(mark.task),
+                               mark.incarnation);
+        }
+        specs.push_back(std::move(spec));
+        // Mirrors Tenant::handle_submit: a submit step ends in a
+        // checkpoint (the WAL cannot replay spec/run creation), so the
+        // buffered batch is subsumed by the snapshot, never appended.
+        if (durable != nullptr) durable->begin_batch();
+        {
+          const auto run = engine.start_run(*specs.back());
+          for (const auto& [task, incarnation] : attacks) {
+            engine.inject_malicious(run, task, incarnation);
+          }
+          engine.run_all();
+          runs.push_back(run);
+        }
+        if (durable != nullptr) durable->checkpoint(engine);
+        break;
+      }
+      case RequestKind::kAlert: {
+        if (request.alert_run >= runs.size()) {
+          throw std::out_of_range("oracle: alert for unknown run");
+        }
+        const auto run = runs[request.alert_run];
+        ids::Alert alert;
+        for (const auto& entry : engine.log().entries()) {
+          if (entry.kind == engine::ActionKind::kMalicious &&
+              entry.run == run) {
+            alert.malicious.push_back(entry.id);
+          }
+        }
+        alert.report_time = static_cast<double>(engine.log().size());
+        controller->submit_alert(std::move(alert));
+        break;
+      }
+      case RequestKind::kQuery:
+      case RequestKind::kDrain:
+        break;  // read-only / seal: no engine effect
+    }
+  }
+  heal_to_normal();
+
+  TenantEndState state = capture(engine, durable.get(), controller->stats());
+  // Teardown order mirrors Tenant::~Tenant.
+  controller.reset();
+  engine.set_durability_observer(nullptr);
+  return state;
+}
+
+}  // namespace selfheal::service

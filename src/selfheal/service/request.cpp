@@ -1,0 +1,214 @@
+#include "selfheal/service/request.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "selfheal/storage/crc32c.hpp"
+
+namespace selfheal::service {
+
+namespace {
+
+constexpr char kFrameMagic[] = "shf1";
+/// A frame larger than this is rejected before any allocation: the
+/// header is adversarial input (same guard discipline as the WAL).
+constexpr std::size_t kMaxPayloadBytes = 16u << 20;
+constexpr std::size_t kMaxSpecLines = 4096;
+constexpr std::size_t kMaxAttacks = 1024;
+
+[[noreturn]] void bad(std::size_t line_no, const std::string& what) {
+  throw std::invalid_argument("request line " + std::to_string(line_no) + ": " +
+                              what);
+}
+
+template <typename T>
+bool parse_int(const std::string& token, T& out) {
+  const auto* first = token.data();
+  const auto* last = token.data() + token.size();
+  const auto result = std::from_chars(first, last, out);
+  return !token.empty() && result.ec == std::errc() && result.ptr == last;
+}
+
+bool plain_token(const std::string& token) {
+  if (token.empty()) return false;
+  for (const char c : token) {
+    if (c == '\n' || c == '\r' || c == ' ' || c == '\t') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kSubmitRun: return "submit";
+    case RequestKind::kAlert: return "alert";
+    case RequestKind::kQuery: return "query";
+    case RequestKind::kDrain: return "drain";
+  }
+  return "?";
+}
+
+const char* to_token(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone: return "accepted";
+    case RejectReason::kQueueFull: return "queue_full";
+    case RejectReason::kByteBudget: return "byte_budget";
+    case RejectReason::kQuarantined: return "quarantined";
+    case RejectReason::kDraining: return "draining";
+    case RejectReason::kUnknownTenant: return "unknown_tenant";
+    case RejectReason::kBadFrame: return "bad_frame";
+    case RejectReason::kStopped: return "stopped";
+  }
+  return "?";
+}
+
+std::string encode_request(const Request& request) {
+  std::ostringstream out;
+  switch (request.kind) {
+    case RequestKind::kSubmitRun: {
+      out << "submit " << (request.run_name.empty() ? "run" : request.run_name)
+          << "\n";
+      for (const auto& attack : request.attacks) {
+        out << "attack " << attack.task << " " << attack.incarnation << "\n";
+      }
+      std::size_t lines = 0;
+      for (const char c : request.spec_dsl) lines += (c == '\n') ? 1 : 0;
+      if (!request.spec_dsl.empty() && request.spec_dsl.back() != '\n') ++lines;
+      out << "spec " << lines << "\n" << request.spec_dsl;
+      if (!request.spec_dsl.empty() && request.spec_dsl.back() != '\n') {
+        out << "\n";
+      }
+      break;
+    }
+    case RequestKind::kAlert:
+      out << "alert " << request.alert_run << "\n";
+      break;
+    case RequestKind::kQuery:
+      out << "query\n";
+      break;
+    case RequestKind::kDrain:
+      out << "drain\n";
+      break;
+  }
+  return out.str();
+}
+
+Request decode_request(const std::string& payload) {
+  std::istringstream in(payload);
+  std::string line;
+  std::size_t line_no = 0;
+  if (!std::getline(in, line)) bad(1, "empty request payload");
+  ++line_no;
+
+  std::istringstream head(line);
+  std::string verb;
+  head >> verb;
+  Request request;
+  if (verb == "query") {
+    request.kind = RequestKind::kQuery;
+    return request;
+  }
+  if (verb == "drain") {
+    request.kind = RequestKind::kDrain;
+    return request;
+  }
+  if (verb == "alert") {
+    request.kind = RequestKind::kAlert;
+    std::string run_token;
+    if (!(head >> run_token) || !parse_int(run_token, request.alert_run)) {
+      bad(line_no, "alert needs a run index");
+    }
+    return request;
+  }
+  if (verb != "submit") bad(line_no, "unknown request verb '" + verb + "'");
+
+  request.kind = RequestKind::kSubmitRun;
+  if (!(head >> request.run_name) || !plain_token(request.run_name)) {
+    bad(line_no, "submit needs a run name");
+  }
+  bool saw_spec = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "attack") {
+      if (request.attacks.size() >= kMaxAttacks) bad(line_no, "too many attacks");
+      AttackMark mark;
+      std::string inc_token;
+      if (!(fields >> mark.task >> inc_token) ||
+          !parse_int(inc_token, mark.incarnation) || mark.incarnation < 1) {
+        bad(line_no, "attack needs <task> <incarnation>=1..");
+      }
+      request.attacks.push_back(std::move(mark));
+      continue;
+    }
+    if (key != "spec") bad(line_no, "expected 'attack' or 'spec', got '" + key + "'");
+    std::string count_token;
+    std::size_t spec_lines = 0;
+    if (!(fields >> count_token) || !parse_int(count_token, spec_lines) ||
+        spec_lines > kMaxSpecLines) {
+      bad(line_no, "spec needs a plausible line count");
+    }
+    for (std::size_t i = 0; i < spec_lines; ++i) {
+      if (!std::getline(in, line)) bad(line_no + i + 1, "spec block truncated");
+      request.spec_dsl += line;
+      request.spec_dsl += '\n';
+    }
+    line_no += spec_lines;
+    saw_spec = true;
+    break;
+  }
+  if (!saw_spec) bad(line_no, "submit without a spec block");
+  if (std::getline(in, line) && !line.empty()) {
+    bad(line_no + 1, "trailing data after spec block");
+  }
+  return request;
+}
+
+std::string encode_frame(const Request& request) {
+  const std::string payload = encode_request(request);
+  char header[64];
+  std::snprintf(header, sizeof(header), "%s %zu %08x\n", kFrameMagic,
+                payload.size(), storage::crc32c(payload));
+  return std::string(header) + payload;
+}
+
+Request decode_frame(const std::string& frame) {
+  const auto newline = frame.find('\n');
+  if (newline == std::string::npos) {
+    throw std::invalid_argument("frame: missing header line");
+  }
+  std::istringstream head(frame.substr(0, newline));
+  std::string magic;
+  std::size_t length = 0;
+  std::string crc_hex;
+  if (!(head >> magic >> length >> crc_hex) || magic != kFrameMagic) {
+    throw std::invalid_argument("frame: bad header");
+  }
+  if (length > kMaxPayloadBytes) {
+    throw std::invalid_argument("frame: implausible payload length");
+  }
+  if (frame.size() - newline - 1 != length) {
+    throw std::invalid_argument("frame: payload length mismatch");
+  }
+  std::uint32_t want_crc = 0;
+  {
+    const auto* first = crc_hex.data();
+    const auto* last = crc_hex.data() + crc_hex.size();
+    const auto result = std::from_chars(first, last, want_crc, 16);
+    if (crc_hex.empty() || result.ec != std::errc() || result.ptr != last) {
+      throw std::invalid_argument("frame: bad checksum field");
+    }
+  }
+  const std::string payload = frame.substr(newline + 1);
+  if (storage::crc32c(payload) != want_crc) {
+    throw std::invalid_argument("frame: checksum mismatch");
+  }
+  return decode_request(payload);
+}
+
+}  // namespace selfheal::service
