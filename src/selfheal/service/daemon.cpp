@@ -46,6 +46,11 @@ TenantId ServiceDaemon::add_tenant(TenantConfig config) {
 }
 
 Tenant& ServiceDaemon::tenant(TenantId id) {
+  // add_tenant() can grow (and reallocate) slots_ concurrently; the
+  // lookup must happen under sched_mu_. Tenants are never removed and
+  // each Slot is owned by a stable unique_ptr, so the returned reference
+  // outlives the lock.
+  std::lock_guard<std::mutex> lock(sched_mu_);
   if (id < 0 || static_cast<std::size_t>(id) >= slots_.size()) {
     throw std::out_of_range("no tenant " + std::to_string(id));
   }
@@ -97,12 +102,18 @@ Ack ServiceDaemon::submit(TenantId id, const std::string& frame,
   } catch (const std::invalid_argument&) {
     return reject(RejectReason::kBadFrame);
   }
-  if (id < 0 || static_cast<std::size_t>(id) >= slots_.size()) {
-    return reject(RejectReason::kUnknownTenant);
-  }
+  Slot* slot = nullptr;
   {
+    // The size check and element load must happen under sched_mu_: a
+    // concurrent add_tenant() push_back can reallocate slots_. The Slot
+    // itself is owned by a stable unique_ptr and never removed, so the
+    // raw pointer stays valid after unlock.
     std::lock_guard<std::mutex> lock(sched_mu_);
     if (stopping_) return reject(RejectReason::kStopped);
+    if (id < 0 || static_cast<std::size_t>(id) >= slots_.size()) {
+      return reject(RejectReason::kUnknownTenant);
+    }
+    slot = slots_[static_cast<std::size_t>(id)].get();
   }
 
   // Global byte budget: charge first, roll back on any rejection, so
@@ -115,9 +126,8 @@ Ack ServiceDaemon::submit(TenantId id, const std::string& frame,
     return reject(RejectReason::kByteBudget);
   }
 
-  auto& slot = *slots_[static_cast<std::size_t>(id)];
   const auto reason =
-      slot.tenant->try_enqueue(std::move(request), bytes, std::move(done));
+      slot->tenant->try_enqueue(std::move(request), bytes, std::move(done));
   if (reason != RejectReason::kNone) {
     queued_bytes_.fetch_sub(bytes, std::memory_order_acq_rel);
     return reject(reason);
@@ -125,7 +135,7 @@ Ack ServiceDaemon::submit(TenantId id, const std::string& frame,
 
   ack.accepted = true;
   ack.reason = RejectReason::kNone;
-  ack.queue_depth = slot.tenant->queue_depth();
+  ack.queue_depth = slot->tenant->queue_depth();
   ack.queued_bytes = queued_bytes();
   {
     std::lock_guard<std::mutex> lock(stats_mu_);

@@ -163,8 +163,11 @@ Request decode_request(const std::string& payload) {
     break;
   }
   if (!saw_spec) bad(line_no, "submit without a spec block");
-  if (std::getline(in, line) && !line.empty()) {
-    bad(line_no + 1, "trailing data after spec block");
+  // Scan ALL remaining lines, not just the first: a blank line must not
+  // smuggle arbitrary trailing data past the framing contract.
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty()) bad(line_no, "trailing data after spec block");
   }
   return request;
 }

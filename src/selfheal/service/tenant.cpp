@@ -74,15 +74,20 @@ Tenant::~Tenant() {
 
 RejectReason Tenant::try_enqueue(Request request, std::size_t frame_bytes,
                                  CompletionFn done) {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  // Checked under queue_mu_: quarantine() seals the flag and swaps out
+  // the queue under this same lock, so a request either lands in the
+  // swapped-out queue (and is failed explicitly) or is rejected here --
+  // never pushed after the swap to hang its client forever.
   if (quarantined()) return RejectReason::kQuarantined;
   if (draining()) return RejectReason::kDraining;
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    if (queue_.size() >= config_.queue_capacity) {
-      return RejectReason::kQueueFull;
-    }
-    queue_.push_back(Queued{std::move(request), frame_bytes, std::move(done)});
+  if (queue_.size() >= config_.queue_capacity) {
+    return RejectReason::kQueueFull;
   }
+  queue_.push_back(Queued{std::move(request), frame_bytes, std::move(done)});
+  // Stored while still holding queue_mu_: the lock orders this store
+  // against refresh_work_signal()'s, so a worker's stale 'false' can
+  // never overwrite it and strand the request just pushed.
   has_work_.store(true, std::memory_order_release);
   return RejectReason::kNone;
 }
@@ -97,7 +102,13 @@ void Tenant::set_storage_faults(storage::StorageFaultInjector* faults) {
 }
 
 std::size_t Tenant::step_once() {
-  if (quarantined()) return 0;
+  if (quarantined()) {
+    // Backstop: never leave the work signal up on a dead tenant, or the
+    // scheduler would busy-spin claiming and releasing it forever.
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    has_work_.store(false, std::memory_order_release);
+    return 0;
+  }
   try {
     if (controller_->state() != recovery::SystemState::kNormal) {
       return recovery_step();
@@ -308,16 +319,22 @@ void Tenant::quarantine(const std::string& why) noexcept {
   } catch (...) {
     // Allocation failure storing the reason: the flag below still seals.
   }
-  quarantined_.store(true, std::memory_order_release);
+  // Seal the flag and swap out the queue under ONE queue_mu_ hold:
+  // try_enqueue() checks quarantined_ under the same lock, so every
+  // request either landed in `orphans` (failed below) or is rejected
+  // with "quarantined" -- none can slip in after the swap. Clearing
+  // has_work_ under the lock likewise orders against enqueue's 'true'.
+  std::deque<Queued> orphans;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    quarantined_.store(true, std::memory_order_release);
+    orphans.swap(queue_);
+    has_work_.store(false, std::memory_order_release);
+  }
   tenant_metrics().quarantines.inc();
 
   // Fail every in-flight completion explicitly: clients must observe the
   // fault, never hang on a dead tenant.
-  std::deque<Queued> orphans;
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    orphans.swap(queue_);
-  }
   Response failure;
   failure.ok = false;
   failure.quarantined = true;
@@ -336,7 +353,6 @@ void Tenant::quarantine(const std::string& why) noexcept {
     complete(done, failure);
   }
   pending_alert_done_.clear();
-  has_work_.store(false, std::memory_order_release);
 }
 
 Response Tenant::status_response(RequestKind kind) const {
@@ -354,12 +370,16 @@ Response Tenant::status_response(RequestKind kind) const {
 }
 
 void Tenant::refresh_work_signal() {
-  bool work = controller_->state() != recovery::SystemState::kNormal;
-  if (!work) {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    work = !queue_.empty();
-  }
-  has_work_.store(work && !quarantined(), std::memory_order_release);
+  const bool recovering =
+      controller_->state() != recovery::SystemState::kNormal;
+  // The emptiness check and the store happen under one queue_mu_ hold:
+  // try_enqueue()'s push + has_work_=true store is ordered against this
+  // store by the lock, so a stale 'false' computed from a pre-push queue
+  // can never overwrite the enqueuer's 'true' (lost-wakeup race that
+  // would strand the queued request until the next submit).
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  has_work_.store((recovering || !queue_.empty()) && !quarantined(),
+                  std::memory_order_release);
 }
 
 void Tenant::complete(CompletionFn& done, const Response& response) {

@@ -5,6 +5,7 @@
 // WAL must stay intact and replayable).
 #include <atomic>
 #include <cstddef>
+#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -18,6 +19,7 @@
 #include "selfheal/service/client.hpp"
 #include "selfheal/service/daemon.hpp"
 #include "selfheal/service/loadgen.hpp"
+#include "selfheal/storage/crc32c.hpp"
 #include "selfheal/wfspec/object_catalog.hpp"
 #include "selfheal/wfspec/parser.hpp"
 
@@ -106,6 +108,29 @@ TEST(ServiceFraming, RejectsDamage) {
   // Hostile header: absurd length must be rejected before allocation.
   EXPECT_THROW((void)service::decode_frame("shf1 99999999999 00000000\nx"),
                std::invalid_argument);
+}
+
+TEST(ServiceFraming, RejectsTrailingDataAfterSpecBlock) {
+  const auto frame_of = [](const std::string& payload) {
+    char header[64];
+    std::snprintf(header, sizeof(header), "shf1 %zu %08x\n", payload.size(),
+                  storage::crc32c(payload));
+    return std::string(header) + payload;
+  };
+  const std::string good = "submit r0\nspec 1\nworkflow w\n";
+  EXPECT_EQ(service::decode_frame(frame_of(good)).kind,
+            RequestKind::kSubmitRun);
+  // Junk directly after the spec block.
+  EXPECT_THROW((void)service::decode_frame(frame_of(good + "junk\n")),
+               std::invalid_argument);
+  // A blank line must not smuggle trailing data past the check.
+  EXPECT_THROW((void)service::decode_frame(frame_of(good + "\njunk\n")),
+               std::invalid_argument);
+  EXPECT_THROW((void)service::decode_frame(frame_of(good + "\n\n\njunk\n")),
+               std::invalid_argument);
+  // Trailing blank lines alone stay acceptable.
+  EXPECT_EQ(service::decode_frame(frame_of(good + "\n\n")).kind,
+            RequestKind::kSubmitRun);
 }
 
 TEST(ServiceFraming, RejectTokensAreStable) {
