@@ -14,7 +14,9 @@
 //     controller's hot path and must scale with damage, not log size.
 // The third table appends a FIXED batch of workflows to growing base
 // logs: the incremental refresh cost must stay flat while a rebuild
-// grows with the untouched history.
+// grows with the untouched history. The final table is the streaming
+// tentpole: alert-to-plan p50/p99 through the live taint frontier vs a
+// scratch rebuild, swept over the log-ingest rate between alerts.
 //
 // Supports --json-out FILE (writes the BENCH_recovery.json trajectory
 // artifact; schema documented in README "Perf baselines"), --big (adds
@@ -29,6 +31,7 @@
 
 #include "selfheal/engine/session_io.hpp"
 #include "selfheal/obs/artifacts.hpp"
+#include "selfheal/obs/metrics.hpp"
 #include "selfheal/recovery/action_graph.hpp"
 #include "selfheal/recovery/analyzer.hpp"
 #include "selfheal/recovery/correctness.hpp"
@@ -46,6 +49,20 @@ double ms_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                    start)
       .count();
+}
+
+double us_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                   start)
+      .count();
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[idx];
 }
 
 struct FleetRow {
@@ -110,16 +127,43 @@ struct AppendRow {
   bool edges_equal = false;
 };
 
+/// One cell of the alert-to-plan latency sweep: a steady-state storm
+/// where every round appends `ingest_runs` clean runs plus one attacked
+/// run, then measures alert-to-plan latency twice -- through the
+/// long-lived streaming graph (refresh + frontier read) and through a
+/// scratch rebuild (the pre-streaming behaviour) -- before healing and
+/// moving on. The deterministic columns (frontier sizes, plans_equal,
+/// full_rebuilds) are exact-gated by perf_compare; the latency
+/// percentiles are host wall clock and only ratio-gated.
+struct AlertRow {
+  std::size_t workflows = 0;
+  std::size_t ingest_runs = 0;
+  std::size_t rounds = 0;
+  double stream_p50_us = 0;
+  double stream_p99_us = 0;
+  double rebuild_p50_us = 0;
+  double rebuild_p99_us = 0;
+  std::size_t frontier_total = 0;
+  std::size_t frontier_max = 0;
+  /// deps.full_rebuilds delta across the STREAMING refreshes only; the
+  /// storm is steady-state, so any fallback rebuild here is a bug.
+  std::uint64_t full_rebuilds = 0;
+  std::uint64_t tags_propagated = 0;
+  std::uint64_t retractions = 0;
+  bool plans_equal = false;
+};
+
 const char* json_bool(bool b) { return b ? "true" : "false"; }
 
 void write_json(const std::string& path, const std::vector<FleetRow>& fleet,
                 const std::vector<WorkerRow>& workers,
                 const std::vector<AttackRow>& attacks,
-                const std::vector<AppendRow>& appends) {
+                const std::vector<AppendRow>& appends,
+                const std::vector<AlertRow>& alerts) {
   std::ostringstream out;
   out << "{\n"
       << "  \"bench\": \"recovery_scalability\",\n"
-      << "  \"schema_version\": 3,\n"
+      << "  \"schema_version\": 4,\n"
       << "  \"fleet_sweep\": [\n";
   for (std::size_t i = 0; i < fleet.size(); ++i) {
     const auto& r = fleet[i];
@@ -165,6 +209,22 @@ void write_json(const std::string& path, const std::vector<FleetRow>& fleet,
         << ", \"rebuild_ms\": " << r.rebuild_ms << ", \"refresh_ms\": " << r.incr_ms
         << ", \"edges_equal\": " << json_bool(r.edges_equal) << "}"
         << (i + 1 < appends.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"alert_latency_sweep\": [\n";
+  for (std::size_t i = 0; i < alerts.size(); ++i) {
+    const auto& r = alerts[i];
+    out << "    {\"workflows\": " << r.workflows << ", \"ingest_runs\": "
+        << r.ingest_runs << ", \"rounds\": " << r.rounds
+        << ", \"stream_p50_us\": " << r.stream_p50_us << ", \"stream_p99_us\": "
+        << r.stream_p99_us << ", \"rebuild_p50_us\": " << r.rebuild_p50_us
+        << ", \"rebuild_p99_us\": " << r.rebuild_p99_us
+        << ", \"frontier_total\": " << r.frontier_total
+        << ", \"frontier_max\": " << r.frontier_max
+        << ", \"full_rebuilds\": " << r.full_rebuilds
+        << ", \"tags_propagated\": " << r.tags_propagated
+        << ", \"retractions\": " << r.retractions
+        << ", \"plans_equal\": " << json_bool(r.plans_equal) << "}"
+        << (i + 1 < alerts.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   // Atomic replace: the committed baseline is diffed against this file,
@@ -383,6 +443,107 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", by_base.render().c_str());
 
+  // --- Alert-to-plan latency vs log-ingest rate: the streaming tentpole
+  // curve. Every round appends `ingest` clean runs plus one attacked run
+  // (the log-ingest rate), then measures alert-to-plan both ways:
+  // streaming (refresh the live graph, read the taint frontier) and the
+  // pre-streaming scratch rebuild. The stream percentiles must stay flat
+  // as ingest grows and the log accumulates history; the rebuild ones
+  // grow with the log. Counters are bracketed around ONLY the streaming
+  // refresh so the scratch analyzers built for comparison do not count.
+  std::printf("\nAlert-to-plan latency (streaming vs rebuild, per-round storm)\n\n");
+  std::vector<AlertRow> alert_rows;
+  util::Table by_rate({"workflows", "ingest/round", "stream p50 us",
+                       "stream p99 us", "rebuild p50 us", "rebuild p99 us",
+                       "frontier max", "full rebuilds", "plans equal"});
+  by_rate.set_precision(3);
+  std::vector<std::size_t> alert_fleets{64, 256};
+  if (big) alert_fleets.push_back(1024);
+  constexpr std::size_t kAlertRounds = 24;
+  auto& rebuild_counter = obs::metrics().counter("deps.full_rebuilds");
+  auto& tags_counter = obs::metrics().counter("deps.stream_tags_propagated");
+  auto& retract_counter = obs::metrics().counter("deps.stream_retractions");
+  for (const std::size_t workflows : alert_fleets) {
+    for (const std::size_t ingest : {0u, 8u, 32u}) {
+      auto scenario = sim::make_attack_scenario(0x51ee + workflows, workflows, 1);
+      auto& eng = *scenario.engine;
+      deps::DependencyAnalyzer deps(eng.log(), eng.specs_by_run());
+
+      std::vector<double> stream_us, rebuild_us;
+      bool plans_equal = true;
+      std::size_t frontier_total = 0, frontier_max = 0;
+      std::uint64_t stream_rebuilds = 0, tags = 0, retractions = 0;
+      for (std::size_t round = 0; round < kAlertRounds; ++round) {
+        std::vector<engine::InstanceId> seeds;
+        if (round == 0) {
+          seeds = scenario.malicious;
+        } else {
+          const std::size_t log_before = eng.log().size();
+          for (std::size_t i = 0; i < ingest; ++i) {
+            eng.start_run(
+                *scenario.specs[(round * 7 + i) % scenario.specs.size()]);
+          }
+          const auto attacked =
+              eng.start_run(*scenario.specs[round % scenario.specs.size()]);
+          eng.inject_malicious(attacked, /*task=*/1);
+          eng.run_all();
+          for (const auto& e : eng.log().entries()) {
+            if (static_cast<std::size_t>(e.id) >= log_before &&
+                e.kind == engine::ActionKind::kMalicious) {
+              seeds.push_back(e.id);
+            }
+          }
+        }
+
+        // Streaming alert-to-plan: refresh the live graph (splices the
+        // previous round's recovery batch, ingests this round's appends)
+        // and plan off the taint frontier.
+        const auto rebuilds0 = rebuild_counter.value();
+        const auto tags0 = tags_counter.value();
+        const auto retract0 = retract_counter.value();
+        auto ts = std::chrono::steady_clock::now();
+        deps.refresh(eng.log(), eng.specs_by_run());
+        const recovery::RecoveryAnalyzer hot(eng, deps);
+        const auto plan = hot.analyze(seeds);
+        stream_us.push_back(us_since(ts));
+        stream_rebuilds += rebuild_counter.value() - rebuilds0;
+        tags += tags_counter.value() - tags0;
+        retractions += retract_counter.value() - retract0;
+
+        // Pre-streaming baseline: scratch graph per alert.
+        ts = std::chrono::steady_clock::now();
+        const recovery::RecoveryAnalyzer cold(eng);
+        const auto cold_plan = cold.analyze(seeds);
+        rebuild_us.push_back(us_since(ts));
+
+        plans_equal = plans_equal && plan == cold_plan;
+        frontier_total += plan.damaged.size();
+        frontier_max = std::max(frontier_max, plan.damaged.size());
+        recovery::RecoveryScheduler(eng).execute(plan);
+      }
+      AlertRow row{workflows,
+                   ingest,
+                   kAlertRounds,
+                   percentile(stream_us, 0.50),
+                   percentile(stream_us, 0.99),
+                   percentile(rebuild_us, 0.50),
+                   percentile(rebuild_us, 0.99),
+                   frontier_total,
+                   frontier_max,
+                   stream_rebuilds,
+                   tags,
+                   retractions,
+                   plans_equal};
+      by_rate.add(workflows, ingest, row.stream_p50_us, row.stream_p99_us,
+                  row.rebuild_p50_us, row.rebuild_p99_us, row.frontier_max,
+                  row.full_rebuilds, plans_equal ? "yes" : "NO");
+      alert_rows.push_back(row);
+      if (!plans_equal) std::printf("!! streaming/rebuild plan mismatch\n");
+      if (stream_rebuilds != 0) std::printf("!! steady-state fallback rebuild\n");
+    }
+  }
+  std::printf("%s", by_rate.render().c_str());
+
   std::printf("\n# The reuse column is the point: recovery touches the damage\n"
               "# closure, not the whole log -- unlike checkpoint rollback.\n"
               "# incr ms is the controller's steady-state scan path: refresh\n"
@@ -397,7 +558,8 @@ int main(int argc, char** argv) {
 
   if (flags.has("json-out")) {
     const auto path = flags.get("json-out", "BENCH_recovery.json");
-    write_json(path, fleet_rows, worker_rows, attack_rows, append_rows);
+    write_json(path, fleet_rows, worker_rows, attack_rows, append_rows,
+               alert_rows);
     std::printf("\n# wrote %s\n", path.c_str());
   }
   obs::flush_from_flags(flags);

@@ -12,6 +12,8 @@
 //   * submit-to-ack latency p50/p99/p999 (accepted submissions);
 //   * alert-to-recovered latency p50/p99/p999 (alert submission to the
 //     controller's return to NORMAL);
+//   * per-tenant alert-to-plan p50/p99 (the analyzer's streaming slice
+//     of heal latency, read from each controller's histogram);
 //   * DETERMINISTIC totals -- runs, log entries, scans, recoveries,
 //     strict_correct, oracle_identical -- which must be byte-stable
 //     across hosts and worker counts; perf_compare.py exact-gates them
@@ -92,6 +94,22 @@ struct SweepRow {
   bool oracle_identical = false;
 };
 
+/// Per-tenant alert-to-plan latency, read from that tenant's controller
+/// histogram after the drain. Separate from heal_* (alert submission to
+/// recovered) above: plan latency is the analyzer's streaming-frontier
+/// path alone, so a regression here means the damage-tracking layer
+/// slowed down even if recovery execution masks it end to end.
+struct PlanRow {
+  std::size_t tenants = 0;   // sweep point this row belongs to
+  std::size_t workers = 0;
+  std::size_t tenant = 0;
+  std::uint64_t alerts = 0;  // scans sampled
+  double plan_p50_us = 0;
+  double plan_p99_us = 0;
+  double plan_mean_us = 0;
+  double plan_max_us = 0;
+};
+
 /// One merged, time-ordered schedule across all tenants.
 struct ScheduledEvent {
   double at = 0.0;
@@ -123,7 +141,8 @@ struct Reservoirs {
 };
 
 SweepRow run_storm(std::size_t tenants, std::size_t workers,
-                   const service::StormConfig& storm, double speedup) {
+                   const service::StormConfig& storm, double speedup,
+                   std::vector<PlanRow>& plan_rows) {
   SweepRow row;
   row.tenants = tenants;
   row.workers = workers;
@@ -216,6 +235,16 @@ SweepRow run_storm(std::size_t tenants, std::size_t workers,
                             .controller().stats();
     row.scans += stats.scans;
     row.recoveries += stats.recoveries;
+    PlanRow plan;
+    plan.tenants = tenants;
+    plan.workers = workers;
+    plan.tenant = t;
+    plan.alerts = stats.alert_to_plan_hist.total();
+    plan.plan_p50_us = stats.alert_to_plan_hist.quantile(0.50);
+    plan.plan_p99_us = stats.alert_to_plan_hist.quantile(0.99);
+    plan.plan_mean_us = stats.alert_to_plan_us.mean();
+    plan.plan_max_us = stats.alert_to_plan_us.max();
+    plan_rows.push_back(plan);
   }
   row.tasks_per_s =
       row.wall_ms > 0 ? static_cast<double>(tasks) / (row.wall_ms / 1000.0)
@@ -235,9 +264,10 @@ SweepRow run_storm(std::size_t tenants, std::size_t workers,
 
 const char* json_bool(bool b) { return b ? "true" : "false"; }
 
-void write_json(const std::string& path, const std::vector<SweepRow>& sweep) {
+void write_json(const std::string& path, const std::vector<SweepRow>& sweep,
+                const std::vector<PlanRow>& plans) {
   std::string out;
-  out += "{\n  \"bench\": \"service_load\",\n  \"schema_version\": 1,\n";
+  out += "{\n  \"bench\": \"service_load\",\n  \"schema_version\": 2,\n";
   out += "  \"tenant_sweep\": [\n";
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     const auto& r = sweep[i];
@@ -263,6 +293,21 @@ void write_json(const std::string& path, const std::vector<SweepRow>& sweep) {
         static_cast<unsigned long long>(r.recoveries),
         json_bool(r.strict_correct), json_bool(r.oracle_identical),
         i + 1 < sweep.size() ? "," : "");
+    out += buf;
+  }
+  out += "  ],\n  \"alert_to_plan_per_tenant\": [\n";
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    const auto& r = plans[i];
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"tenants\": %zu, \"workers\": %zu, \"tenant\": %zu, "
+        "\"alerts\": %llu, \"plan_p50_us\": %g, \"plan_p99_us\": %g, "
+        "\"plan_mean_us\": %g, \"plan_max_us\": %g}%s\n",
+        r.tenants, r.workers, r.tenant,
+        static_cast<unsigned long long>(r.alerts), r.plan_p50_us,
+        r.plan_p99_us, r.plan_mean_us, r.plan_max_us,
+        i + 1 < plans.size() ? "," : "");
     out += buf;
   }
   out += "  ]\n}\n";
@@ -524,12 +569,13 @@ int main(int argc, char** argv) {
 
   std::printf("Service load (open loop, MMPP attack storms)\n\n");
   std::vector<SweepRow> sweep;
+  std::vector<PlanRow> plan_rows;
   util::Table table({"tenants", "workers", "accepted", "rejected", "wall ms",
                      "tasks/s", "ack p99 us", "heal p99 us", "runs",
                      "log entries", "strict", "oracle"});
   table.set_precision(1);
   for (const auto tenants : tenant_counts) {
-    const auto row = run_storm(tenants, workers, storm, speedup);
+    const auto row = run_storm(tenants, workers, storm, speedup, plan_rows);
     table.add(row.tenants, row.workers, std::size_t{row.accepted},
               std::size_t{row.rejected}, row.wall_ms, row.tasks_per_s,
               row.ack_p99_us, row.heal_p99_us, std::size_t{row.runs},
@@ -539,6 +585,21 @@ int main(int argc, char** argv) {
     sweep.push_back(row);
   }
   std::printf("%s\n", table.render().c_str());
+
+  // Alert-to-plan is the analyzer's slice of heal latency: how long from
+  // popping an alert to a queued recovery plan, per tenant, through the
+  // streaming dependence graph. Contrast with heal p99 above, which also
+  // pays undo/replay execution and queueing.
+  std::printf("Alert-to-plan latency per tenant (streaming analyzer path)\n\n");
+  util::Table plan_table({"tenants", "workers", "tenant", "alerts",
+                          "plan p50 us", "plan p99 us", "mean us", "max us"});
+  plan_table.set_precision(1);
+  for (const auto& r : plan_rows) {
+    plan_table.add(r.tenants, r.workers, r.tenant, std::size_t{r.alerts},
+                   r.plan_p50_us, r.plan_p99_us, r.plan_mean_us,
+                   r.plan_max_us);
+  }
+  std::printf("%s\n", plan_table.render().c_str());
 
   std::size_t failures = 0;
   for (const auto& row : sweep) {
@@ -555,7 +616,7 @@ int main(int argc, char** argv) {
   }
 
   const std::string json_out = flags.get("json-out", "");
-  if (!json_out.empty()) write_json(json_out, sweep);
+  if (!json_out.empty()) write_json(json_out, sweep, plan_rows);
   obs::flush_from_flags(flags);
   return failures == 0 ? 0 : 1;
 }

@@ -14,6 +14,13 @@ from the JSON's "bench" field and dispatched to a per-bench metric map:
     `equivalent` are DETERMINISTIC model outputs -- byte-stable across
     hosts -- so any drift against the committed baseline, or a fresh
     `equivalent: false`, is a hard failure (exit 1), not a warning.
+    Schema v4 adds `alert_latency_sweep` (streaming alert-to-plan):
+    the latency percentiles are host wall clock and not gated, but
+    `frontier_total` / `frontier_max` / `plans_equal` are exact-gated,
+    `plans_equal` must be true, and `full_rebuilds` must be ZERO -- a
+    steady-state storm that falls back to a scratch dependence rebuild
+    is a correctness regression in the streaming layer, whatever the
+    timings say.
   * ctmc_scalability     -- solver_sweep rows keyed by `states`;
     watches `sparse_steady_ms` at the largest state count.
   * storage_recovery     -- recovery_sweep rows keyed by `workflows`;
@@ -24,7 +31,9 @@ from the JSON's "bench" field and dispatched to a per-bench metric map:
     (`runs`, `log_entries`, `scans`, `recoveries`) -- pure functions of
     the seeded trace -- plus the `strict_correct` / `oracle_identical`
     verdicts, all exact-gated; a fresh run where either verdict is not
-    true is a hard failure.
+    true is a hard failure. Schema v2 adds `alert_to_plan_per_tenant`
+    (the analyzer's streaming slice of heal latency): wall clock, so
+    reported but not gated.
 
 Prints one markdown comparison table per pair (also appended to
 --summary-out, which CI points at $GITHUB_STEP_SUMMARY) and emits a
@@ -47,17 +56,30 @@ BENCHES = {
         "key": "workflows",
         "columns": ("analyze_incremental_ms", "analyze_rebuild_ms", "recover_ms"),
         "watch": "analyze_incremental_ms",
-        # Schema v3 deterministic section: exact-match gate, not a perf watch.
-        "det": {
-            "rows": "worker_sweep",
-            "keys": ("workflows", "workers"),
-            "exact": ("makespan_units", "speedup_vs_serial", "replay_rounds",
-                      "equivalent"),
-            # Fields that must be literally true in the FRESH artifact,
-            # baseline aside -- a false here is broken correctness, not
-            # drift.
-            "must_true": ("equivalent",),
-        },
+        # Deterministic sections: exact-match gates, not perf watches.
+        "det": [
+            {
+                "rows": "worker_sweep",
+                "keys": ("workflows", "workers"),
+                "exact": ("makespan_units", "speedup_vs_serial",
+                          "replay_rounds", "equivalent"),
+                # Fields that must be literally true in the FRESH
+                # artifact, baseline aside -- a false here is broken
+                # correctness, not drift.
+                "must_true": ("equivalent",),
+            },
+            {
+                "rows": "alert_latency_sweep",
+                "keys": ("workflows", "ingest_runs"),
+                "exact": ("rounds", "frontier_total", "frontier_max",
+                          "plans_equal"),
+                "must_true": ("plans_equal",),
+                # Fields that must be 0 in the FRESH artifact: any
+                # fallback rebuild during the steady-state storm means
+                # the streaming splice/taint path silently gave up.
+                "must_zero": ("full_rebuilds",),
+            },
+        ],
     },
     "ctmc_scalability": {
         "rows": "solver_sweep",
@@ -146,6 +168,13 @@ def compare_det(bench, det, baseline_data, fresh_data):
                     f"({key_label})={k}: {col} is "
                     f"{fresh[k].get(col)!r}, must be true"
                 )
+        for col in det.get("must_zero", ()):
+            if fresh[k].get(col) != 0:
+                errors.append(
+                    f"::error title=perf-smoke::{bench} {det['rows']} "
+                    f"({key_label})={k}: {col} is "
+                    f"{fresh[k].get(col)!r}, must be 0"
+                )
     skipped = sorted((set(base) | set(fresh)) - set(shared))
     lines.append("")
     if skipped:
@@ -221,10 +250,13 @@ def compare_pair(baseline_path, fresh_path):
         )
 
     errors = []
-    det = spec.get("det")
-    if det:
-        det_lines, errors = compare_det(base_bench, det, baseline_data,
-                                        fresh_data)
+    dets = spec.get("det") or []
+    if isinstance(dets, dict):
+        dets = [dets]
+    for det in dets:
+        det_lines, det_errors = compare_det(base_bench, det, baseline_data,
+                                            fresh_data)
+        errors += det_errors
         if det_lines:
             lines += [""] + det_lines
     return lines, warning, errors

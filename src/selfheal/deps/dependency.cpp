@@ -1,7 +1,9 @@
 #include "selfheal/deps/dependency.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
+#include <utility>
 
 #include "selfheal/obs/metrics.hpp"
 
@@ -11,7 +13,11 @@ namespace {
 
 struct DepsMetrics {
   obs::Counter& incremental_appends = obs::metrics().counter("deps.incremental_appends");
+  obs::Counter& recovery_splices = obs::metrics().counter("deps.recovery_splices");
   obs::Counter& full_rebuilds = obs::metrics().counter("deps.full_rebuilds");
+  obs::Counter& stream_tags_propagated =
+      obs::metrics().counter("deps.stream_tags_propagated");
+  obs::Counter& stream_retractions = obs::metrics().counter("deps.stream_retractions");
   obs::StatMetric& closure_visited = obs::metrics().stats("analyzer.closure_visited");
 };
 
@@ -54,7 +60,13 @@ void DependencyAnalyzer::reset_state() {
   last_writer_by_object_.clear();
   readers_since_write_.clear();
   readers_by_object_.clear();
+  writers_by_object_.clear();
   last_instance_by_run_.clear();
+  instances_by_run_.clear();
+  schedule_.clear();
+  taint_.clear();
+  tainted_ids_.clear();
+  taint_sources_ = 0;
   processed_ = 0;
   recovery_entries_seen_ = 0;
   n_ = 0;
@@ -70,6 +82,7 @@ void DependencyAnalyzer::rebuild(
   in_begin_.assign(n_, 0);
   in_count_.assign(n_, 0);
   out_head_.assign(n_, -1);
+  taint_.assign(n_, 0);
 
   // The analysis runs over the EFFECTIVE execution in logical-slot
   // order: before any recovery this is exactly the original log; after
@@ -86,15 +99,11 @@ void DependencyAnalyzer::rebuild(
 bool DependencyAnalyzer::refresh(
     const engine::SystemLog& log,
     const std::vector<const wfspec::WorkflowSpec*>& spec_of_run) {
-  // Invalidation rule: the incremental path is sound only while the
-  // graph is a prefix of the current effective schedule. New ORIGINAL
-  // entries preserve that (their fresh logical slots sort after every
-  // existing entry and they never evict one); any recovery entry rewrites
-  // the schedule (undos evict, redos/freshes re-slot), so rebuild.
+  // The incremental paths are sound only while the existing graph is a
+  // prefix of the current effective schedule; (re)attaching to a new log
+  // is the one case that inherently needs a scratch build.
   const bool same_log = log_ == &log && processed_ <= log.size();
-  const bool schedule_intact =
-      same_log && log.recovery_entry_count() == recovery_entries_seen_;
-  if (!schedule_intact) {
+  if (!same_log) {
     rebuild(log, spec_of_run);
     return false;
   }
@@ -102,16 +111,209 @@ bool DependencyAnalyzer::refresh(
   specs_ = spec_of_run;
   if (processed_ == log.size()) return true;  // nothing new
 
+  if (log.recovery_entry_count() != recovery_entries_seen_) {
+    // A recovery round rewrote part of the schedule (undos evict,
+    // redos/freshes re-slot). Every dependence edge points from a lower
+    // logical slot to a higher one, so the rewrite is confined to the
+    // schedule suffix from the earliest touched slot: splice it.
+    if (splice_recovery(log)) {
+      deps_metrics().recovery_splices.inc();
+      return true;
+    }
+    // Checked fallback: a structural invariant did not hold. Counted in
+    // deps.full_rebuilds so benches prove this does not fire steady-state.
+    rebuild(log, spec_of_run);
+    return false;
+  }
+
+  // New ORIGINAL entries append: their fresh logical slots sort after
+  // every existing entry and they never evict one.
   n_ = log.size();
   in_begin_.resize(n_, 0);
   in_count_.resize(n_, 0);
   out_head_.resize(n_, -1);
+  taint_.resize(n_, 0);
   for (std::size_t i = processed_; i < n_; ++i) {
     ingest(log.entry(static_cast<InstanceId>(i)));
   }
   processed_ = n_;
   if (edges_.size() - sealed_edges_ > kSealSlack + sealed_edges_ / 4) seal();
   deps_metrics().incremental_appends.inc();
+  return true;
+}
+
+bool DependencyAnalyzer::splice_recovery(const engine::SystemLog& log) {
+  // 1. The earliest logical slot the new batch touches. Undo entries
+  //    carry their victim's slot, redos their target's, freshes the slot
+  //    the scheduler assigned, originals a fresh tail slot; repairs are
+  //    not part of the effective schedule.
+  engine::SeqNo s_min = std::numeric_limits<engine::SeqNo>::max();
+  for (std::size_t i = processed_; i < log.size(); ++i) {
+    const auto& e = log.entry(static_cast<InstanceId>(i));
+    if (e.kind == engine::ActionKind::kRepair) continue;
+    if (e.logical_slot <= 0) return false;  // unstamped recovery entry
+    s_min = std::min(s_min, e.logical_slot);
+  }
+
+  // 2. Cut point: the first ingested schedule position at slot >= s_min.
+  //    Edge blocks are contiguous in schedule order, so the cut maps to
+  //    an edge-array prefix.
+  const auto cut = std::lower_bound(
+      schedule_.begin(), schedule_.end(), s_min,
+      [&](InstanceId id, engine::SeqNo slot) {
+        return log.entry(id).logical_slot < slot;
+      });
+  const auto k = static_cast<std::size_t>(cut - schedule_.begin());
+  const std::vector<InstanceId> dropped(cut, schedule_.end());
+  const std::size_t e0 =
+      k < schedule_.size()
+          ? static_cast<std::size_t>(in_begin_[static_cast<std::size_t>(schedule_[k])])
+          : edges_.size();
+
+  // 3. Retract the suffix, newest first: pop chain heads, sweep-state
+  //    records and taint tags in exact reverse-ingest order. Collect the
+  //    objects / (run, task) pairs whose state needs reconstruction.
+  auto& dm = deps_metrics();
+  std::vector<wfspec::ObjectId> dirty_objects;
+  std::vector<std::pair<std::size_t, wfspec::TaskId>> dirty_tasks;
+  for (std::size_t j = schedule_.size(); j-- > k;) {
+    const auto id = schedule_[j];
+    const auto node = static_cast<std::size_t>(id);
+    const auto& e = log.entry(id);
+    if (spec_for(e.run) != nullptr) {
+      const auto r = static_cast<std::size_t>(e.run);
+      if (r >= instances_by_run_.size() || instances_by_run_[r].empty() ||
+          instances_by_run_[r].back() != id) {
+        return false;
+      }
+      instances_by_run_[r].pop_back();
+      dirty_tasks.emplace_back(r, e.task);
+    }
+    for (std::size_t w = e.written_objects.size(); w-- > 0;) {
+      const auto o = static_cast<std::size_t>(e.written_objects[w]);
+      if (o >= writers_by_object_.size() || writers_by_object_[o].empty() ||
+          writers_by_object_[o].back().reader != id) {
+        return false;
+      }
+      writers_by_object_[o].pop_back();
+      dirty_objects.push_back(e.written_objects[w]);
+    }
+    for (std::size_t r = e.read_objects.size(); r-- > 0;) {
+      const auto o = static_cast<std::size_t>(e.read_objects[r]);
+      if (o >= readers_by_object_.size() || readers_by_object_[o].empty() ||
+          readers_by_object_[o].back().reader != id) {
+        return false;
+      }
+      readers_by_object_[o].pop_back();
+      dirty_objects.push_back(e.read_objects[r]);
+    }
+    if ((taint_[node] & kTainted) != 0) {
+      if ((taint_[node] & kSource) != 0) --taint_sources_;
+      taint_[node] = 0;
+      dm.stream_retractions.inc();
+    }
+    // Entries evicted by this round must read as edgeless afterwards,
+    // exactly as they would after a scratch rebuild; live ones get their
+    // block back on re-ingest.
+    in_begin_[node] = 0;
+    in_count_[node] = 0;
+  }
+  std::erase_if(tainted_ids_, [&](InstanceId id) {
+    return (taint_[static_cast<std::size_t>(id)] & kTainted) == 0;
+  });
+
+  // Pop dropped edges off their source chains (strict LIFO per source).
+  for (std::size_t idx = edges_.size(); idx-- > e0;) {
+    const auto src = static_cast<std::size_t>(edges_[idx].from);
+    if (out_head_[src] != static_cast<std::int64_t>(idx)) return false;
+    out_head_[src] = out_next_[idx];
+  }
+  edges_.resize(e0);
+  out_next_.resize(e0);
+  if (e0 < sealed_edges_) {
+    // The CSR cache references dropped edges; invalidate it wholesale
+    // (the chains cover everything until the next lazy seal).
+    sealed_edges_ = 0;
+    out_start_.clear();
+    out_csr_.clear();
+  }
+  schedule_.resize(k);
+
+  // 4. Reconstruct the sweep state at the cut point for what was touched.
+  std::sort(dirty_objects.begin(), dirty_objects.end());
+  dirty_objects.erase(std::unique(dirty_objects.begin(), dirty_objects.end()),
+                      dirty_objects.end());
+  for (const auto object : dirty_objects) {
+    const auto o = static_cast<std::size_t>(object);
+    const auto& writes = writers_by_object_[o];
+    const auto& reads = readers_by_object_[o];
+    auto& pending = readers_since_write_[o];
+    pending.clear();
+    if (writes.empty()) {
+      last_writer_by_object_[o] = engine::kInvalidInstance;
+      for (const auto& rec : reads) pending.push_back(rec.reader);
+    } else {
+      const auto& w = writes.back();
+      last_writer_by_object_[o] = w.reader;
+      // Readers strictly after the last write in schedule order; both
+      // record vectors are sorted by (slot, id), and an instance's read
+      // of an object it also writes precedes its own write.
+      auto it = std::upper_bound(
+          reads.begin(), reads.end(), w,
+          [](const ReaderRecord& a, const ReaderRecord& b) {
+            if (a.slot != b.slot) return a.slot < b.slot;
+            return a.reader < b.reader;
+          });
+      for (; it != reads.end(); ++it) pending.push_back(it->reader);
+    }
+  }
+  std::sort(dirty_tasks.begin(), dirty_tasks.end());
+  dirty_tasks.erase(std::unique(dirty_tasks.begin(), dirty_tasks.end()),
+                    dirty_tasks.end());
+  for (const auto& [r, task] : dirty_tasks) {
+    auto& last_instance = last_instance_by_run_[r];
+    auto latest = engine::kInvalidInstance;
+    const auto& history = instances_by_run_[r];
+    for (std::size_t j = history.size(); j-- > 0;) {
+      if (log.entry(history[j]).task == task) {
+        latest = history[j];
+        break;
+      }
+    }
+    last_instance[static_cast<std::size_t>(task)] = latest;
+  }
+
+  // 5. Re-ingest the repaired suffix: dropped entries that are still
+  //    live in the effective view, plus the new batch's live entries, in
+  //    (logical_slot, id) order -- exactly what a scratch rebuild would
+  //    ingest from this slot on, so the edge array comes out
+  //    byte-identical to a rebuild.
+  std::vector<InstanceId> suffix;
+  suffix.reserve(dropped.size() + (log.size() - processed_));
+  for (const auto id : dropped) {
+    if (log.is_live_execution(id)) suffix.push_back(id);
+  }
+  for (std::size_t i = processed_; i < log.size(); ++i) {
+    const auto id = static_cast<InstanceId>(i);
+    if (log.is_live_execution(id)) suffix.push_back(id);
+  }
+  std::sort(suffix.begin(), suffix.end(), [&](InstanceId a, InstanceId b) {
+    const auto sa = log.entry(a).logical_slot;
+    const auto sb = log.entry(b).logical_slot;
+    if (sa != sb) return sa < sb;
+    return a < b;
+  });
+
+  n_ = log.size();
+  in_begin_.resize(n_, 0);
+  in_count_.resize(n_, 0);
+  out_head_.resize(n_, -1);
+  taint_.resize(n_, 0);
+  for (const auto id : suffix) ingest(log.entry(id));
+
+  processed_ = log.size();
+  recovery_entries_seen_ = log.recovery_entry_count();
+  if (edges_.size() - sealed_edges_ > kSealSlack + sealed_edges_ / 4) seal();
   return true;
 }
 
@@ -127,6 +329,7 @@ void DependencyAnalyzer::ensure_object(wfspec::ObjectId object) {
     last_writer_by_object_.resize(o + 1, engine::kInvalidInstance);
     readers_since_write_.resize(o + 1);
     readers_by_object_.resize(o + 1);
+    writers_by_object_.resize(o + 1);
   }
 }
 
@@ -144,6 +347,7 @@ void DependencyAnalyzer::ingest(const engine::TaskInstance& e) {
   // All edges added below target e.id, so this entry's in-edges form the
   // next contiguous range of edges_ (the implicit in-CSR).
   in_begin_[static_cast<std::size_t>(e.id)] = static_cast<EdgeIndex>(edges_.size());
+  schedule_.push_back(e.id);
 
   // Read phase first (a task reads the pre-state, then writes).
   for (const auto object : e.read_objects) {
@@ -166,13 +370,17 @@ void DependencyAnalyzer::ingest(const engine::TaskInstance& e) {
     }
     last_writer_by_object_[o] = e.id;
     readers_since_write_[o].clear();
+    writers_by_object_[o].push_back(ReaderRecord{e.logical_slot, e.id});
   }
 
   // Control dependences: from the latest preceding instance of each
   // dominant (branch) node of the task, within the same run.
   if (const auto* spec = spec_for(e.run)) {
     const auto r = static_cast<std::size_t>(e.run);
-    if (r >= last_instance_by_run_.size()) last_instance_by_run_.resize(r + 1);
+    if (r >= last_instance_by_run_.size()) {
+      last_instance_by_run_.resize(r + 1);
+      instances_by_run_.resize(r + 1);
+    }
     auto& last_instance = last_instance_by_run_[r];
     if (last_instance.size() < spec->task_count()) {
       last_instance.resize(spec->task_count(), engine::kInvalidInstance);
@@ -184,11 +392,38 @@ void DependencyAnalyzer::ingest(const engine::TaskInstance& e) {
       }
     }
     last_instance[static_cast<std::size_t>(e.task)] = e.id;
+    instances_by_run_[r].push_back(e.id);
   }
 
   const auto count = static_cast<EdgeIndex>(edges_.size()) -
                      in_begin_[static_cast<std::size_t>(e.id)];
   in_count_[static_cast<std::size_t>(e.id)] = count;
+
+  // Online taint (SLEUTH-style): an instance is damage-tainted iff it is
+  // a live malicious entry or reads from a tainted last-writer. Because
+  // every flow edge points from a lower logical slot to a higher one,
+  // ingest order IS topological order, so this single O(in-edges) pass
+  // maintains the exact flow closure of the live malicious set.
+  const auto node = static_cast<std::size_t>(e.id);
+  std::uint8_t tag = 0;
+  if (e.kind == engine::ActionKind::kMalicious) {
+    tag = kTainted | kSource;
+  } else {
+    const DepEdge* block = edges_.data() + in_begin_[node];
+    for (EdgeIndex i = 0; i < count; ++i) {
+      const auto& edge = block[i];
+      if (edge.kind == DepKind::kFlow && tainted(edge.from)) {
+        tag = kTainted;
+        break;
+      }
+    }
+  }
+  if (tag != 0) {
+    taint_[node] = tag;
+    tainted_ids_.push_back(e.id);
+    if ((tag & kSource) != 0) ++taint_sources_;
+    deps_metrics().stream_tags_propagated.inc();
+  }
 }
 
 void DependencyAnalyzer::seal() {
@@ -204,8 +439,9 @@ void DependencyAnalyzer::seal() {
     out_csr_[cursor[static_cast<std::size_t>(edges_[idx].from)]++] = idx;
   }
   sealed_edges_ = edges_.size();
-  std::fill(out_head_.begin(), out_head_.end(), -1);
-  out_next_.clear();
+  // The chains are NOT cleared: they index every edge and are what makes
+  // recovery splices O(dropped edges). The CSR is purely an iteration
+  // cache over the sealed prefix.
 }
 
 std::vector<DepEdge> DependencyAnalyzer::edges_from(InstanceId i) const {
@@ -222,8 +458,9 @@ std::vector<DepEdge> DependencyAnalyzer::edges_from(InstanceId i) const {
     }
   }
   const auto sealed_count = result.size();
-  for (std::int64_t e = out_head_[node]; e >= 0;
-       e = out_next_[static_cast<std::size_t>(e) - sealed_edges_]) {
+  for (std::int64_t e = out_head_[node];
+       e >= 0 && static_cast<std::size_t>(e) >= sealed_edges_;
+       e = out_next_[static_cast<std::size_t>(e)]) {
     result.push_back(edges_[static_cast<std::size_t>(e)]);
   }
   std::reverse(result.begin() + static_cast<std::ptrdiff_t>(sealed_count),
@@ -337,6 +574,24 @@ void DependencyAnalyzer::readers_after(wfspec::ObjectId object, engine::SeqNo sl
       readers.begin(), readers.end(), slot,
       [](engine::SeqNo s, const ReaderRecord& r) { return s < r.slot; });
   for (; it != readers.end(); ++it) out.push_back(it->reader);
+}
+
+std::vector<InstanceId> DependencyAnalyzer::tainted_frontier() const {
+  std::vector<InstanceId> result(tainted_ids_.begin(), tainted_ids_.end());
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+bool DependencyAnalyzer::frontier_covers(const std::vector<InstanceId>& seeds) const {
+  // seeds must be sorted + deduplicated (the analyzer's moot-filtered
+  // malicious set is). They cover the frontier iff they are EXACTLY the
+  // live malicious set: each seed a source, and no source missing.
+  if (seeds.size() != taint_sources_) return false;
+  for (const auto id : seeds) {
+    const auto node = static_cast<std::size_t>(id);
+    if (node >= taint_.size() || (taint_[node] & kSource) == 0) return false;
+  }
+  return true;
 }
 
 std::string to_dot(const DependencyAnalyzer& deps, const engine::SystemLog& log,

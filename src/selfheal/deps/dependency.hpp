@@ -18,13 +18,30 @@
 //     dominant_nodes() walks the full dominator chain the emitted edges
 //     already realise the transitive relation ->_c*.
 //
-// The analyzer is INCREMENTAL: a long-lived instance tracks a growing
-// SystemLog and ingests only the new entries per refresh() -- O(their
-// accesses) -- as long as the effective schedule was not rewritten by a
-// recovery round (the invalidation rule; see refresh()). All per-object
-// and per-(run, task) sweep state is kept in dense vectors keyed by the
-// interned ids, adjacency is flat CSR (plus an O(1)-append overflow
-// chain between seals), and closures reuse an epoch-stamped visited
+// The analyzer is INCREMENTAL and STREAMING: a long-lived instance
+// tracks a growing SystemLog and ingests only the new entries per
+// refresh() -- O(their accesses). Recovery entries (undo/redo/fresh) no
+// longer invalidate the graph: because every dependence edge points
+// from an earlier logical slot to a later one, a recovery round can
+// only change the schedule at slots >= the earliest entry it touched,
+// so refresh() splices the graph -- truncate the suffix from that slot,
+// retract its taint tags, and re-ingest the repaired suffix in schedule
+// order. The result is PHYSICALLY identical (same edge array, byte for
+// byte) to a scratch rebuild over the new effective schedule; a full
+// rebuild survives only as a checked fallback, counted in
+// `deps.full_rebuilds`.
+//
+// Damage taint is propagated ONLINE as entries are ingested (SLEUTH-
+// style streaming tag propagation): an instance is tainted iff it is
+// flow-reachable from a live malicious entry, maintained at O(1) per
+// ingested edge and retracted when recovery evicts the source. An alert
+// that covers all live malicious entries reads its damage frontier
+// straight off the materialized taint set -- O(frontier), no closure
+// walk over clean regions.
+//
+// All per-object and per-(run, task) sweep state is kept in dense
+// vectors keyed by the interned ids, adjacency is flat CSR (plus O(1)-
+// append linked chains), and closures reuse an epoch-stamped visited
 // array, so query cost scales with the damage closure, not the log.
 //
 // Queries mutate reusable scratch state (epoch stamps, worklist):
@@ -77,13 +94,17 @@ class DependencyAnalyzer {
   void rebuild(const engine::SystemLog& log,
                const std::vector<const wfspec::WorkflowSpec*>& spec_of_run);
 
-  /// Brings the graph up to date with `log`. If the log only gained
-  /// ORIGINAL entries since the last sync, they are appended in O(their
-  /// accesses) -- new originals always sort at the tail of the effective
-  /// schedule, so the existing graph is a valid prefix. If a recovery
-  /// round committed undo/redo/fresh/repair entries (rewriting the
-  /// effective schedule), the graph is invalidated and fully rebuilt.
-  /// Returns true when the incremental path was taken.
+  /// Brings the graph up to date with `log`. New ORIGINAL entries are
+  /// appended in O(their accesses) -- they always sort at the tail of
+  /// the effective schedule, so the existing graph is a valid prefix.
+  /// Recovery entries (undo/redo/fresh) are applied as an incremental
+  /// SPLICE: the schedule suffix from the earliest touched slot is
+  /// truncated (tag retractions included) and the repaired suffix is
+  /// re-ingested, leaving the graph byte-identical to a scratch rebuild
+  /// at O(suffix) cost -- bounded by the damage region's slot span, not
+  /// the log. Returns true when an incremental path was taken; false
+  /// only on (re)attachment to a new log or the checked fallback
+  /// rebuild.
   bool refresh(const engine::SystemLog& log,
                const std::vector<const wfspec::WorkflowSpec*>& spec_of_run);
 
@@ -107,8 +128,10 @@ class DependencyAnalyzer {
   [[nodiscard]] std::span<const EdgeIndex> out_edge_indices(InstanceId i) const;
 
   /// Visits the index of every outgoing edge of `i` without copying or
-  /// sealing: the sealed CSR range first, then the unsealed overflow
-  /// chain (newest first).
+  /// sealing: the sealed CSR range first, then the not-yet-sealed chain
+  /// suffix (newest first). The linked chains cover ALL edges (they are
+  /// what makes suffix truncation O(dropped edges)); the walk stops at
+  /// the sealed boundary to avoid double-visiting CSR-covered edges.
   template <typename Visitor>
   void for_each_out_edge(InstanceId i, Visitor visit) const {
     const auto node = static_cast<std::size_t>(i);
@@ -118,8 +141,9 @@ class DependencyAnalyzer {
       }
     }
     if (node < out_head_.size()) {
-      for (std::int64_t e = out_head_[node]; e >= 0;
-           e = out_next_[static_cast<std::size_t>(e) - sealed_edges_]) {
+      for (std::int64_t e = out_head_[node];
+           e >= 0 && static_cast<std::size_t>(e) >= sealed_edges_;
+           e = out_next_[static_cast<std::size_t>(e)]) {
         visit(static_cast<EdgeIndex>(e));
       }
     }
@@ -165,6 +189,32 @@ class DependencyAnalyzer {
   /// Log prefix consumed so far (equal to instance_count()).
   [[nodiscard]] std::size_t processed_entries() const noexcept { return processed_; }
 
+  // --- Streaming taint layer (online damage tracking). ---
+
+  /// True iff `i` is damage-tainted: flow-reachable (transitively) from
+  /// a live malicious entry of the current effective schedule. Tags are
+  /// propagated during ingest and retracted when recovery evicts the
+  /// carrying entries.
+  [[nodiscard]] bool tainted(InstanceId i) const noexcept {
+    const auto node = static_cast<std::size_t>(i);
+    return node < taint_.size() && (taint_[node] & kTainted) != 0;
+  }
+
+  /// Live malicious entries currently in the graph (the taint sources).
+  [[nodiscard]] std::size_t taint_source_count() const noexcept {
+    return taint_sources_;
+  }
+
+  /// The materialized damage frontier: every tainted instance, sorted by
+  /// id. O(frontier log frontier) -- no graph walk.
+  [[nodiscard]] std::vector<InstanceId> tainted_frontier() const;
+
+  /// True iff `seeds` (sorted, deduplicated) is exactly the set of live
+  /// malicious entries in the graph -- the condition under which the
+  /// materialized taint set IS the flow closure of `seeds` and an alert
+  /// can skip the closure walk entirely.
+  [[nodiscard]] bool frontier_covers(const std::vector<InstanceId>& seeds) const;
+
  private:
   template <typename Filter>
   [[nodiscard]] std::vector<InstanceId> closure(const std::vector<InstanceId>& seeds,
@@ -173,27 +223,42 @@ class DependencyAnalyzer {
   void add_edge(InstanceId from, InstanceId to, DepKind kind,
                 wfspec::ObjectId object);
   /// Ingests one effective-schedule entry (reads, writes, control), in
-  /// schedule order. All edges added here target entry.id.
+  /// schedule order. All edges added here target entry.id. Propagates
+  /// the streaming taint tag as a side effect.
   void ingest(const engine::TaskInstance& entry);
-  /// Folds the overflow chains into the flat out-CSR arrays.
+  /// Applies a batch containing recovery entries as a graph splice:
+  /// truncate the schedule suffix from the earliest touched slot,
+  /// retract its taint, re-ingest the repaired suffix. Returns false if
+  /// a structural invariant check failed (caller falls back to rebuild).
+  [[nodiscard]] bool splice_recovery(const engine::SystemLog& log);
+  /// Folds all edges into the flat out-CSR arrays (chains are kept: they
+  /// are the truncation structure).
   void seal();
   void reset_state();
   void ensure_object(wfspec::ObjectId object);
   [[nodiscard]] const wfspec::WorkflowSpec* spec_for(engine::RunId run) const;
 
-  // --- Graph: edges, in-CSR (implicit), out-CSR + overflow chains. ---
+  // Taint tag bits.
+  static constexpr std::uint8_t kTainted = 1;  // flow-reachable from a source
+  static constexpr std::uint8_t kSource = 2;   // live malicious entry
+
+  // --- Graph: edges, in-CSR (implicit), out-CSR + linked chains. ---
   std::vector<DepEdge> edges_;
   /// In-edges of instance i are edges()[in_begin_[i] .. +in_count_[i]).
   std::vector<EdgeIndex> in_begin_;
   std::vector<EdgeIndex> in_count_;
   /// Sealed out-CSR over edges [0, sealed_edges_): concatenated edge
   /// indices per instance, offsets in out_start_ (size = sealed nodes+1).
+  /// A cache for fast iteration; invalidated if truncation cuts below
+  /// sealed_edges_ and lazily rebuilt.
   std::vector<EdgeIndex> out_start_;
   std::vector<EdgeIndex> out_csr_;
   std::size_t sealed_edges_ = 0;
-  /// Overflow chains for edges appended since the last seal: per
-  /// instance the newest such edge (-1 none); per overflow edge (indexed
-  /// by edge - sealed_edges_) the next older one of the same instance.
+  /// Per-source linked chains over ALL edges, newest first: out_head_
+  /// [node] is the newest edge of node (-1 none), out_next_[edge] the
+  /// next older edge of the same source. Never cleared -- truncating the
+  /// edge array pops chain heads in O(dropped edges), which is what lets
+  /// recovery splice the graph instead of rebuilding it.
   std::vector<std::int64_t> out_head_;
   std::vector<std::int64_t> out_next_;
 
@@ -201,8 +266,25 @@ class DependencyAnalyzer {
   std::vector<InstanceId> last_writer_by_object_;
   std::vector<std::vector<InstanceId>> readers_since_write_;
   std::vector<std::vector<ReaderRecord>> readers_by_object_;
+  /// All effective writes of each object, sorted by (slot, writer) --
+  /// the mirror of readers_by_object_, needed to reconstruct
+  /// last_writer/readers_since_write at a truncation point.
+  std::vector<std::vector<ReaderRecord>> writers_by_object_;
   /// last_instance_by_run_[run][task]: latest incarnation seen.
   std::vector<std::vector<InstanceId>> last_instance_by_run_;
+  /// Ingested instances of each run in schedule order (only entries with
+  /// a spec, mirroring last_instance_by_run_ updates): popped on
+  /// truncation so last_instance state can be rebuilt per affected run.
+  std::vector<std::vector<InstanceId>> instances_by_run_;
+  /// The ingested effective schedule, in (logical_slot, id) order. The
+  /// graph's edge blocks follow exactly this order, so a slot boundary
+  /// maps to an edge-array prefix.
+  std::vector<InstanceId> schedule_;
+
+  // --- Streaming taint state. ---
+  std::vector<std::uint8_t> taint_;       // per instance: kTainted|kSource
+  std::vector<InstanceId> tainted_ids_;   // unsorted materialized frontier
+  std::size_t taint_sources_ = 0;
 
   // --- Sync bookkeeping. ---
   const engine::SystemLog* log_ = nullptr;

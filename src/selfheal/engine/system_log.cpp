@@ -1,7 +1,6 @@
 #include "selfheal/engine/system_log.hpp"
 
 #include <algorithm>
-#include <map>
 #include <sstream>
 #include <stdexcept>
 
@@ -19,6 +18,33 @@ const char* to_string(ActionKind kind) {
   return "?";
 }
 
+namespace {
+bool is_execution(ActionKind kind) {
+  return kind == ActionKind::kNormal || kind == ActionKind::kMalicious ||
+         kind == ActionKind::kRedo || kind == ActionKind::kFresh;
+}
+}  // namespace
+
+void SystemLog::index_entry(const TaskInstance& entry) {
+  // Repairs carry no (run, task, incarnation) identity of interest.
+  if (entry.kind == ActionKind::kRepair) return;
+  auto& state = triple_index_[TripleKey{entry.run, entry.task, entry.incarnation}];
+  if (is_execution(entry.kind)) {
+    state.latest_execution = entry.id;
+    state.latest_decisive = entry.id;
+    state.decisive_is_undo = false;
+  } else if (entry.kind == ActionKind::kUndo) {
+    state.latest_decisive = entry.id;
+    state.decisive_is_undo = true;
+  }
+}
+
+const SystemLog::TripleState* SystemLog::triple_state(RunId run, wfspec::TaskId task,
+                                                      int incarnation) const {
+  const auto it = triple_index_.find(TripleKey{run, task, incarnation});
+  return it == triple_index_.end() ? nullptr : &it->second;
+}
+
 InstanceId SystemLog::append(TaskInstance entry) {
   entry.id = static_cast<InstanceId>(entries_.size());
   entry.seq = static_cast<SeqNo>(entries_.size()) + 1;  // seq 0 = initial store
@@ -29,6 +55,7 @@ InstanceId SystemLog::append(TaskInstance entry) {
   next_slot_ = std::max(next_slot_, entry.logical_slot + 1);
   if (entry.is_recovery()) ++recovery_entries_;
   entries_.push_back(std::move(entry));
+  index_entry(entries_.back());
   return entries_.back().id;
 }
 
@@ -40,6 +67,7 @@ void SystemLog::restore_entry(TaskInstance entry) {
   next_slot_ = std::max(next_slot_, entry.logical_slot + 1);
   if (entry.is_recovery()) ++recovery_entries_;
   entries_.push_back(std::move(entry));
+  index_entry(entries_.back());
 }
 
 const TaskInstance& SystemLog::entry(InstanceId id) const {
@@ -87,61 +115,45 @@ std::vector<InstanceId> SystemLog::originals() const {
   return result;
 }
 
-namespace {
-bool is_execution(ActionKind kind) {
-  return kind == ActionKind::kNormal || kind == ActionKind::kMalicious ||
-         kind == ActionKind::kRedo || kind == ActionKind::kFresh;
-}
-}  // namespace
-
 std::optional<InstanceId> SystemLog::find_latest_execution(RunId run,
                                                            wfspec::TaskId task,
                                                            int incarnation) const {
-  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-    if (it->run == run && it->task == task && it->incarnation == incarnation &&
-        is_execution(it->kind)) {
-      return it->id;
-    }
+  const auto* state = triple_state(run, task, incarnation);
+  if (state == nullptr || state->latest_execution == kInvalidInstance) {
+    return std::nullopt;
   }
-  return std::nullopt;
+  return state->latest_execution;
 }
 
 bool SystemLog::currently_undone(InstanceId execution) const {
   const auto& base = entry(execution);
   // The LATEST undo-or-execution entry for the triple decides its state.
-  for (std::size_t i = entries_.size(); i-- > static_cast<std::size_t>(execution) + 1;) {
-    const auto& e = entries_[i];
-    if (e.run != base.run || e.task != base.task || e.incarnation != base.incarnation) {
-      continue;
-    }
-    if (e.kind == ActionKind::kUndo) return true;
-    if (is_execution(e.kind)) return false;  // a later execution supersedes
-  }
-  return false;
+  // Index invariant: latest_decisive >= any of the triple's entries, so
+  // an undo AFTER `execution` means undone; a later execution (or the
+  // entry itself being the decisive one) means not.
+  const auto* state = triple_state(base.run, base.task, base.incarnation);
+  return state != nullptr && state->decisive_is_undo &&
+         state->latest_decisive > execution;
+}
+
+bool SystemLog::is_live_execution(InstanceId execution) const {
+  const auto& base = entry(execution);
+  if (!is_execution(base.kind)) return false;
+  const auto* state = triple_state(base.run, base.task, base.incarnation);
+  return state != nullptr && !state->decisive_is_undo &&
+         state->latest_decisive == execution;
 }
 
 std::vector<InstanceId> SystemLog::effective() const {
-  // Latest state per (run, task, incarnation), single backward sweep.
-  struct Key {
-    RunId run;
-    wfspec::TaskId task;
-    int incarnation;
-    auto operator<=>(const Key&) const = default;
-  };
-  std::map<Key, InstanceId> latest;  // kInvalidInstance marks "undone"
-  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-    const Key key{it->run, it->task, it->incarnation};
-    if (latest.count(key)) continue;  // a later entry already decided it
-    if (it->kind == ActionKind::kUndo) {
-      latest[key] = kInvalidInstance;
-    } else if (is_execution(it->kind)) {
-      latest[key] = it->id;
-    }
-    // kRepair entries carry no (run, task) identity of interest.
-  }
+  // One pass over the triple index (latest state per (run, task,
+  // incarnation) is maintained on append); order restored by the final
+  // (logical_slot, id) sort, so map iteration order does not leak.
   std::vector<InstanceId> result;
-  for (const auto& [key, id] : latest) {
-    if (id != kInvalidInstance) result.push_back(id);
+  result.reserve(triple_index_.size());
+  for (const auto& [key, state] : triple_index_) {
+    if (!state.decisive_is_undo && state.latest_decisive != kInvalidInstance) {
+      result.push_back(state.latest_decisive);
+    }
   }
   std::sort(result.begin(), result.end(), [this](InstanceId a, InstanceId b) {
     const auto& ea = entry(a);

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "selfheal/engine/versioned_store.hpp"
@@ -95,12 +96,21 @@ class SystemLog {
   [[nodiscard]] std::vector<InstanceId> effective() const;
 
   /// Latest execution entry of (run, task, incarnation) -- normal,
-  /// malicious, redo or fresh -- whether or not currently undone.
+  /// malicious, redo or fresh -- whether or not currently undone. O(1):
+  /// answered from the triple index maintained on append.
   [[nodiscard]] std::optional<InstanceId> find_latest_execution(
       RunId run, wfspec::TaskId task, int incarnation) const;
 
   /// True iff the triple's latest execution is superseded by an undo.
+  /// O(1) via the triple index.
   [[nodiscard]] bool currently_undone(InstanceId execution) const;
+
+  /// True iff `execution` is the entry representing its (run, task,
+  /// incarnation) triple in the effective view: an execution kind, not
+  /// undone, and not superseded by a later execution. O(1); the
+  /// streaming dependence index uses this to diff effective membership
+  /// without replaying the log.
+  [[nodiscard]] bool is_live_execution(InstanceId execution) const;
 
   /// Human-readable rendering, e.g. "t1 t7 t2 ..." with kind markers;
   /// names resolved via `spec_of(run)`.
@@ -123,9 +133,43 @@ class SystemLog {
   void restore_entry(TaskInstance entry);
 
  private:
+  struct TripleKey {
+    RunId run = kInvalidRun;
+    wfspec::TaskId task = wfspec::kInvalidTask;
+    int incarnation = 1;
+    bool operator==(const TripleKey&) const = default;
+  };
+  struct TripleKeyHash {
+    [[nodiscard]] std::size_t operator()(const TripleKey& k) const noexcept {
+      std::uint64_t h = static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.run));
+      h = h * 0x9E3779B97F4A7C15ULL ^
+          static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.task));
+      h = h * 0x9E3779B97F4A7C15ULL ^
+          static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.incarnation));
+      return static_cast<std::size_t>(h ^ (h >> 32));
+    }
+  };
+  /// Latest state of one (run, task, incarnation): the newest execution
+  /// entry and the newest DECISIVE entry (execution or undo -- whichever
+  /// committed last decides whether the triple is live). Repairs carry
+  /// no identity and are never indexed.
+  struct TripleState {
+    InstanceId latest_execution = kInvalidInstance;
+    InstanceId latest_decisive = kInvalidInstance;
+    bool decisive_is_undo = false;
+  };
+
+  void index_entry(const TaskInstance& entry);
+  [[nodiscard]] const TripleState* triple_state(RunId run, wfspec::TaskId task,
+                                                int incarnation) const;
+
   std::vector<TaskInstance> entries_;
   SeqNo next_slot_ = 1;
   std::size_t recovery_entries_ = 0;
+  /// O(1) lookups for find_latest_execution / currently_undone /
+  /// is_live_execution and an O(triples) effective() sweep -- the alert
+  /// hot path must not rescan the log.
+  std::unordered_map<TripleKey, TripleState, TripleKeyHash> triple_index_;
 };
 
 }  // namespace selfheal::engine

@@ -1,6 +1,7 @@
 #include "selfheal/recovery/analyzer.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 #include "selfheal/obs/metrics.hpp"
 #include "selfheal/obs/trace.hpp"
@@ -11,6 +12,7 @@ namespace {
 
 struct AnalyzerMetrics {
   obs::Counter& analyses = obs::metrics().counter("analyzer.analyses");
+  obs::Counter& frontier_hits = obs::metrics().counter("analyzer.frontier_hits");
   obs::Counter& work_units = obs::metrics().counter("analyzer.work_units");
   obs::Counter& damaged_instances = obs::metrics().counter("analyzer.damaged_instances");
   obs::Counter& candidate_undos = obs::metrics().counter("analyzer.candidate_undos");
@@ -73,7 +75,19 @@ RecoveryPlan RecoveryAnalyzer::analyze(const std::vector<InstanceId>& malicious)
                        plan.malicious.end());
 
   // Theorem 1, conditions 1 + 3: the damage closure over flow dependence.
-  plan.damaged = deps_->flow_closure(plan.malicious);
+  // O(frontier) fast path: when the alert covers exactly the live
+  // malicious set, the analyzer's streaming taint layer has the closure
+  // already materialized -- read it off instead of walking the graph.
+  if (deps_->frontier_covers(plan.malicious)) {
+    plan.damaged = deps_->tainted_frontier();
+    am.frontier_hits.inc();
+#ifndef NDEBUG
+    assert(plan.damaged == deps_->flow_closure(plan.malicious) &&
+           "streaming taint frontier must equal the batch flow closure");
+#endif
+  } else {
+    plan.damaged = deps_->flow_closure(plan.malicious);
+  }
   InstanceBitset damaged_set(n);
   for (const auto id : plan.damaged) damaged_set.insert(id);
   work_units_ += plan.damaged.size();
@@ -170,9 +184,22 @@ RecoveryPlan RecoveryAnalyzer::analyze(const std::vector<InstanceId>& malicious)
     plan.constraints.push_back(OrderConstraint{ActionType::kRedo, redos_sorted[i - 1],
                                                ActionType::kRedo, redos_sorted[i], 1});
   }
-  // Rules 2, 4, 5 from the dependence edges.
-  for (const auto& e : deps_->edges()) {
-    ++work_units_;
+  // Rules 2, 4, 5 from the dependence edges. Every rule needs the edge's
+  // SOURCE in the damaged set, so only edges incident to damaged
+  // instances can contribute: collect them via the out-adjacency instead
+  // of scanning the whole edge array -- O(incident edges), not O(E).
+  // Sorting the indices restores edge-array order, so the constraint
+  // sequence is byte-identical to the full scan's.
+  std::vector<deps::DependencyAnalyzer::EdgeIndex> incident;
+  for (const auto id : plan.damaged) {
+    deps_->for_each_out_edge(id, [&](deps::DependencyAnalyzer::EdgeIndex idx) {
+      ++work_units_;
+      if (damaged_set.contains(deps_->edge(idx).to)) incident.push_back(idx);
+    });
+  }
+  std::sort(incident.begin(), incident.end());
+  for (const auto idx : incident) {
+    const auto& e = deps_->edge(idx);
     const bool from_redo = redo_set.contains(e.from);
     const bool to_redo = redo_set.contains(e.to);
     const bool from_undo = damaged_set.contains(e.from);

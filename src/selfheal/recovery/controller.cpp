@@ -1,6 +1,7 @@
 #include "selfheal/recovery/controller.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "selfheal/obs/metrics.hpp"
 #include "selfheal/obs/trace.hpp"
@@ -20,6 +21,11 @@ struct ControllerMetrics {
   obs::Counter& runs_parked = obs::metrics().counter("controller.runs_parked");
   obs::Gauge& alert_queue_peak = obs::metrics().gauge("controller.alert_queue_peak");
   obs::Gauge& unit_queue_peak = obs::metrics().gauge("controller.unit_queue_peak");
+  /// Wall time from popping an alert to having its recovery unit queued
+  /// (graph sync + analysis) -- the latency the streaming taint layer is
+  /// built to bound.
+  obs::HistogramMetric& alert_to_plan_us =
+      obs::metrics().histogram("analyzer.alert_to_plan_us", 0.0, 5000.0, 64);
 };
 
 ControllerMetrics& controller_metrics() {
@@ -168,11 +174,21 @@ std::optional<std::size_t> SelfHealingController::scan_one() {
   const int k = static_cast<int>(units_.size()) + 1;
 
   // Sync the long-lived dependence graph: O(entries since last scan)
-  // when only normal commits happened, a full rebuild only after a
-  // recovery round rewrote the effective schedule.
+  // when only normal commits happened, an O(suffix) splice after a
+  // recovery round rewrote the effective schedule -- never a full
+  // rebuild on the steady-state path. The analyze() then reads the
+  // damage frontier off the streaming taint set when the (batched) alert
+  // covers the live malicious entries.
+  const auto t0 = std::chrono::steady_clock::now();
   deps_.refresh(engine_->log(), engine_->specs_by_run());
   RecoveryAnalyzer analyzer(*engine_, deps_);
   auto plan = analyzer.analyze(alert.malicious);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double us =
+      std::chrono::duration<double, std::micro>(t1 - t0).count();
+  cm.alert_to_plan_us.observe(us);
+  stats_.alert_to_plan_us.add(us);
+  stats_.alert_to_plan_hist.add(us);
   const auto work = analyzer.last_work_units();
   units_.push_back(std::move(plan));
 

@@ -104,6 +104,13 @@ struct ControllerStats {
   std::size_t runs_deferred = 0;       // Theorem 4 whole-run deferrals
   std::size_t runs_parked = 0;         // Theorem 4 per-task blocks
   std::size_t tasks_before_park = 0;   // tasks executed before parking
+  /// Wall microseconds from popping an alert (batch) to its recovery
+  /// unit being queued: dependence-graph sync + analysis. The streaming
+  /// taint layer exists to keep this O(frontier) under storm load. The
+  /// histogram carries the same samples so per-controller (per-tenant)
+  /// percentiles are readable without a global registry query.
+  util::RunningStats alert_to_plan_us;
+  util::Histogram alert_to_plan_hist{0.0, 5000.0, 64};
   /// Analyzer work per alert, keyed by units already queued when the
   /// scan ran (the paper's mu_k cost driver).
   std::map<int, util::RunningStats> scan_work_by_queue;
@@ -165,9 +172,10 @@ class SelfHealingController {
   std::unique_ptr<util::ThreadPool> pool_;
   ids::AlertQueue alerts_;
   /// Long-lived dependence graph, refreshed per scan: appends only the
-  /// log entries committed since the previous scan (full rebuild only
-  /// after a recovery round rewrote the effective schedule), so scan
-  /// cost tracks the damage, not the log.
+  /// log entries committed since the previous scan, and applies recovery
+  /// rounds as an O(suffix) splice instead of a rebuild. Its streaming
+  /// taint layer keeps the damage frontier materialized, so scan cost
+  /// tracks the damage, not the log.
   deps::DependencyAnalyzer deps_;
   std::deque<RecoveryPlan> units_;
   std::deque<const wfspec::WorkflowSpec*> pending_runs_;

@@ -283,11 +283,20 @@ std::size_t Tenant::handle_alert(Queued& queued) {
   controller_->submit_alert(std::move(alert));
   ++stats_.alerts_submitted;
   tenant_metrics().alerts.inc();
+  // Turn the alert into its recovery plan IN this step: the controller's
+  // streaming dependence index makes the scan O(frontier), so the plan
+  // is materialized the moment the alert lands instead of one scheduler
+  // round-trip later. Recovery EXECUTION still waits for dedicated
+  // recovery steps. A scan reads the engine but never mutates it, so the
+  // durable media stays byte-identical to the drive-once oracle (whose
+  // scan step commits an empty WAL batch -- no record either way).
+  std::size_t scan_cost = 0;
+  if (const auto scanned = controller_->scan_one()) scan_cost = *scanned;
   // Completion fires when the controller returns to NORMAL -- the
   // alert-to-recovered moment the load generator measures.
   pending_alert_done_.emplace_back(std::move(queued.done), reported);
   refresh_work_signal();
-  return 1;
+  return std::max<std::size_t>(scan_cost, 1);
 }
 
 void Tenant::handle_query(Queued& queued) {

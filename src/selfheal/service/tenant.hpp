@@ -15,7 +15,11 @@
 //   1. while the controller is not NORMAL, execute ONE recovery step
 //      (scan_one, else recover_one), each wrapped in a WAL batch so one
 //      controller step is one WAL record;
-//   2. otherwise pop and fully handle ONE queued request (FIFO).
+//   2. otherwise pop and fully handle ONE queued request (FIFO). An
+//      alert request additionally runs its SCAN in the same step (the
+//      streaming dependence index makes it O(frontier)); scans never
+//      mutate the engine, so this changes alert-to-plan latency only,
+//      not the durable byte stream.
 //
 // Consequently a tenant's final engine state is a pure function of its
 // own request arrival order -- worker count, other tenants' load, and
@@ -57,7 +61,15 @@ struct TenantConfig {
   /// this many queued requests.
   std::size_t queue_capacity = 64;
   engine::EngineConfig engine;
-  recovery::ControllerConfig controller;
+  /// Service tenants default to batched alerts: any alerts simultaneous
+  /// in the controller queue merge into ONE frontier expansion (a single
+  /// scan over the union of their malicious sets). The drive-once oracle
+  /// consumes the same config, so the gate covers the batching path.
+  recovery::ControllerConfig controller = [] {
+    recovery::ControllerConfig c;
+    c.batch_alerts = true;
+    return c;
+  }();
   /// Attach a DurableSessionStore (checkpoint at birth, one WAL record
   /// per step). Off for throwaway tenants in micro-tests.
   bool durable = true;

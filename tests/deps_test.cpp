@@ -307,23 +307,53 @@ TEST(DependencyAnalyzer, IncrementalRefreshMatchesRebuildAfterAppends) {
   EXPECT_EQ(incremental.edges(), rebuilt.edges());
 }
 
-TEST(DependencyAnalyzer, RefreshAfterRecoveryEntriesRebuilds) {
+TEST(DependencyAnalyzer, RefreshAfterRecoveryEntriesSplices) {
   const Figure1 fig;
   auto eng = fig.run_attacked();
   DependencyAnalyzer incremental(eng.log(), eng.specs_by_run());
 
   // A recovery round rewrites the effective schedule: the undo evicts
   // the malicious entry and the redo takes over its slot. refresh() must
-  // detect it (via the log's recovery entry count) and fully rebuild.
+  // apply it as an incremental suffix splice (returning true) and land
+  // on a graph byte-identical to a scratch rebuild.
   const auto bad = Figure1::malicious_instance(eng);
   eng.apply_undo(bad);
   const auto rid = eng.apply_redo(bad);
-  EXPECT_FALSE(incremental.refresh(eng.log(), eng.specs_by_run()));
+  EXPECT_TRUE(incremental.refresh(eng.log(), eng.specs_by_run()));
   const DependencyAnalyzer rebuilt(eng.log(), eng.specs_by_run());
   EXPECT_EQ(incremental.edges(), rebuilt.edges());
   const auto i2 = inst(eng, 0, fig.t2);
   EXPECT_TRUE(incremental.depends(rid, i2, DepKind::kFlow));
   EXPECT_FALSE(incremental.depends(bad, i2, DepKind::kFlow));
+}
+
+TEST(DependencyAnalyzer, StreamingTaintTracksLiveMaliciousClosure) {
+  const Figure1 fig;
+  auto eng = fig.run_attacked();
+  DependencyAnalyzer deps(eng.log(), eng.specs_by_run());
+
+  // While the attack is live, the materialized taint frontier IS the
+  // flow closure of the malicious set: same members, same order.
+  const auto bad = Figure1::malicious_instance(eng);
+  EXPECT_EQ(deps.taint_source_count(), 1u);
+  EXPECT_TRUE(deps.tainted(bad));
+  EXPECT_TRUE(deps.frontier_covers({bad}));
+  EXPECT_EQ(deps.tainted_frontier(), deps.flow_closure({bad}));
+
+  // A seed set that is not exactly the live malicious set must refuse
+  // the fast path (missing seed / non-source seed).
+  EXPECT_FALSE(deps.frontier_covers({}));
+  const auto clean = inst(eng, 0, fig.t3);
+  EXPECT_FALSE(deps.frontier_covers({clean}));
+
+  // Recovery retracts: after undo+redo of the malicious instance the
+  // splice drops every stale tag -- no sources, empty frontier.
+  eng.apply_undo(bad);
+  eng.apply_redo(bad);
+  EXPECT_TRUE(deps.refresh(eng.log(), eng.specs_by_run()));
+  EXPECT_EQ(deps.taint_source_count(), 0u);
+  EXPECT_FALSE(deps.tainted(bad));
+  EXPECT_TRUE(deps.tainted_frontier().empty());
 }
 
 TEST(DependencyAnalyzer, DotLabelsUseOwningRunCatalog) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 
@@ -337,6 +338,61 @@ TEST(SystemLog, EffectiveViewTracksRecovery) {
   EXPECT_EQ(after.size(), 9u);
   // The redo sits at t1's slot: first entry of the effective order.
   EXPECT_EQ(after.front(), rid);
+}
+
+TEST(SystemLog, TripleIndexMatchesBruteForceScans) {
+  // The O(1) triple index behind find_latest_execution /
+  // currently_undone / is_live_execution must agree with brute-force
+  // scans of the raw entry list, across undo/redo churn.
+  const Figure1 fig;
+  auto eng = fig.run_attacked();
+  const auto bad = Figure1::malicious_instance(eng);
+  eng.apply_undo(bad);
+  const auto rid = eng.apply_redo(bad);
+  eng.apply_undo(rid);  // leave one triple currently undone
+  const auto& log = eng.log();
+
+  const auto is_exec = [](engine::ActionKind kind) {
+    return kind == engine::ActionKind::kNormal ||
+           kind == engine::ActionKind::kMalicious ||
+           kind == engine::ActionKind::kRedo ||
+           kind == engine::ActionKind::kFresh;
+  };
+  const auto effective = log.effective();
+  for (const auto& e : log.entries()) {
+    if (e.kind == engine::ActionKind::kRepair) continue;
+    auto latest = engine::kInvalidInstance;
+    for (const auto& other : log.entries()) {
+      if (is_exec(other.kind) && other.run == e.run && other.task == e.task &&
+          other.incarnation == e.incarnation) {
+        latest = other.id;
+      }
+    }
+    const auto indexed = log.find_latest_execution(e.run, e.task, e.incarnation);
+    if (latest == engine::kInvalidInstance) {
+      EXPECT_FALSE(indexed.has_value()) << "entry " << e.id;
+    } else {
+      EXPECT_EQ(indexed, latest) << "entry " << e.id;
+    }
+    if (is_exec(e.kind)) {
+      bool undone_brute = false;
+      for (const auto& other : log.entries()) {
+        if (other.kind == engine::ActionKind::kUndo && other.run == e.run &&
+            other.task == e.task && other.incarnation == e.incarnation &&
+            other.id > e.id) {
+          undone_brute = true;
+        } else if (is_exec(other.kind) && other.run == e.run &&
+                   other.task == e.task && other.incarnation == e.incarnation &&
+                   other.id > e.id) {
+          undone_brute = false;
+        }
+      }
+      EXPECT_EQ(log.currently_undone(e.id), undone_brute) << "entry " << e.id;
+    }
+    const bool member =
+        std::find(effective.begin(), effective.end(), e.id) != effective.end();
+    EXPECT_EQ(log.is_live_execution(e.id), member) << "entry " << e.id;
+  }
 }
 
 TEST(SystemLog, RenderShowsKinds) {

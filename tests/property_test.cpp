@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "selfheal/engine/session_io.hpp"
+#include "selfheal/obs/metrics.hpp"
 #include "selfheal/recovery/analyzer.hpp"
 #include "selfheal/recovery/controller.hpp"
 #include "selfheal/recovery/correctness.hpp"
@@ -239,7 +240,6 @@ TEST_P(IncrementalConsistency, RefreshedGraphMatchesRebuildAcrossCycles) {
 
   deps::DependencyAnalyzer incremental(eng.log(), eng.specs_by_run());
   std::vector<engine::InstanceId> alert = scenario.malicious;
-  bool recovered_since_sync = false;
 
   for (int cycle = 0; cycle < 4; ++cycle) {
     // Append a fresh attacked batch of runs on top of the history.
@@ -257,13 +257,13 @@ TEST_P(IncrementalConsistency, RefreshedGraphMatchesRebuildAcrossCycles) {
       }
     }
 
-    // Pure appends take the incremental path; a recovery round since the
-    // last sync must force a full rebuild.
+    // Pure appends AND recovery rounds both take an incremental path now
+    // (appends extend the tail; recovery splices the rewritten suffix).
+    // The checked-fallback full rebuild must never fire on this workload.
     const bool took_incremental =
         incremental.refresh(eng.log(), eng.specs_by_run());
-    EXPECT_EQ(took_incremental, !recovered_since_sync)
+    EXPECT_TRUE(took_incremental)
         << "seed " << GetParam() << " cycle " << cycle;
-    recovered_since_sync = false;
 
     const deps::DependencyAnalyzer rebuilt(eng.log(), eng.specs_by_run());
     ASSERT_EQ(incremental.edges(), rebuilt.edges())
@@ -282,7 +282,6 @@ TEST_P(IncrementalConsistency, RefreshedGraphMatchesRebuildAcrossCycles) {
     if (cycle % 2 == 0 && !inc_plan.damaged.empty()) {
       recovery::RecoveryScheduler scheduler(eng);
       scheduler.execute(inc_plan);
-      recovered_since_sync = true;
       alert.clear();
       const auto report = recovery::CorrectnessChecker(eng).check();
       EXPECT_TRUE(report.strict_correct())
@@ -293,7 +292,73 @@ TEST_P(IncrementalConsistency, RefreshedGraphMatchesRebuildAcrossCycles) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalConsistency,
-                         ::testing::Range<std::uint64_t>(1, 21));
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+// Multi-alert batches through the controller: many simultaneous alerts
+// merge into ONE frontier expansion, recovery-entry interleavings are
+// spliced into the streaming graph, and the checked-fallback full
+// rebuild never fires.
+class MultiAlertBatch : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MultiAlertBatch, BatchedAlertsHealWithoutFullRebuilds) {
+  auto scenario = sim::make_attack_scenario(GetParam() * 4099 + 1, 6, 3);
+  auto& eng = *scenario.engine;
+  ASSERT_FALSE(scenario.malicious.empty());
+
+  recovery::ControllerConfig config;
+  config.batch_alerts = true;
+  recovery::SelfHealingController controller(eng, config);
+
+  // One alert per malicious instance, all simultaneous in the queue.
+  for (const auto id : scenario.malicious) {
+    ids::Alert alert;
+    alert.malicious.push_back(id);
+    ASSERT_TRUE(controller.submit_alert(std::move(alert)));
+  }
+  // A single scan consumes the whole batch into one recovery unit; the
+  // first scan attaches the controller's streaming graph (one rebuild).
+  ASSERT_TRUE(controller.scan_one().has_value());
+  EXPECT_EQ(controller.stats().scans, scenario.malicious.size());
+  EXPECT_EQ(controller.alerts_queued(), 0u);
+  EXPECT_EQ(controller.units_queued(), 1u);
+
+  // From here on every path must be incremental: recovery splices, new
+  // attacked waves append, further batched scans ride the taint set.
+  const auto rebuilds_before =
+      obs::metrics().counter("deps.full_rebuilds").value();
+  controller.drain();
+
+  for (int wave = 0; wave < 2; ++wave) {
+    const std::size_t log_before = eng.log().size();
+    for (std::size_t i = 0; i < 2 && i < scenario.specs.size(); ++i) {
+      const auto run = eng.start_run(
+          *scenario.specs[(i + static_cast<std::size_t>(wave)) %
+                          scenario.specs.size()]);
+      eng.inject_malicious(run, /*task=*/1);
+    }
+    eng.run_all();
+    for (const auto& e : eng.log().entries()) {
+      if (static_cast<std::size_t>(e.id) >= log_before &&
+          e.kind == engine::ActionKind::kMalicious) {
+        ids::Alert alert;
+        alert.malicious.push_back(e.id);
+        ASSERT_TRUE(controller.submit_alert(std::move(alert)));
+      }
+    }
+    controller.drain();
+  }
+  EXPECT_EQ(obs::metrics().counter("deps.full_rebuilds").value(),
+            rebuilds_before)
+      << "seed " << GetParam()
+      << ": steady-state storm must never fall back to a full rebuild";
+
+  const auto report = recovery::CorrectnessChecker(eng).check();
+  EXPECT_TRUE(report.strict_correct())
+      << "seed " << GetParam() << ": " << report.summary;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiAlertBatch,
+                         ::testing::Range<std::uint64_t>(1, 26));
 
 class SerialisationProperty : public ::testing::TestWithParam<std::uint64_t> {};
 

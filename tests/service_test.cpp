@@ -14,8 +14,13 @@
 
 #include <gtest/gtest.h>
 
+#include "selfheal/deps/dependency.hpp"
 #include "selfheal/engine/durable_session.hpp"
 #include "selfheal/engine/session_io.hpp"
+#include "selfheal/obs/metrics.hpp"
+#include "selfheal/recovery/analyzer.hpp"
+#include "selfheal/recovery/correctness.hpp"
+#include "selfheal/recovery/scheduler.hpp"
 #include "selfheal/service/client.hpp"
 #include "selfheal/service/daemon.hpp"
 #include "selfheal/service/loadgen.hpp"
@@ -340,6 +345,66 @@ TEST(ServiceOracle, MultiTenantIsolationUnderThreads) {
   }
 }
 
+TEST(ServiceConcurrency, ConcurrentIngestWhileScanStaysIncremental) {
+  // TSan coverage for the streaming path: four tenants on four workers,
+  // each fed an alert-heavy storm by its own submitter thread. Worker
+  // threads run in-step scans (frontier reads + taint ingest) while
+  // submitters and neighbouring tenants keep appending, so every shared
+  // surface -- metrics registry, scheduler, queue handoff -- sees real
+  // ingest-while-scan interleavings. Each tenant must end strictly
+  // correct, and steady-state scans must never fall back to a full
+  // dependence rebuild (one attach rebuild per tenant is allowed).
+  service::StormConfig storm;
+  storm.seed = 4242;
+  storm.submissions = 24;
+  storm.attack_p_quiet = 0.3;
+
+  ServiceConfig config;
+  config.workers = 4;
+  ServiceDaemon daemon(config);
+  constexpr std::size_t kTenants = 4;
+  std::vector<service::TenantId> ids;
+  std::vector<std::vector<service::TimedRequest>> traces;
+  for (std::size_t t = 0; t < kTenants; ++t) {
+    ids.push_back(daemon.add_tenant(TenantConfig{}));
+    traces.push_back(service::make_tenant_trace(storm, t));
+  }
+  const auto rebuilds_before =
+      obs::metrics().counter("deps.full_rebuilds").value();
+  const auto tags_before =
+      obs::metrics().counter("deps.stream_tags_propagated").value();
+
+  daemon.start();
+  std::vector<std::thread> submitters;
+  std::atomic<int> failures{0};
+  for (std::size_t t = 0; t < kTenants; ++t) {
+    submitters.emplace_back([&, t] {
+      ServiceClient client(daemon, ids[t]);
+      for (const auto& timed : traces[t]) {
+        if (!client.call(timed.request).ok) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE(daemon.drain_all());
+  daemon.stop();
+
+  std::uint64_t alerts = 0;
+  for (std::size_t t = 0; t < kTenants; ++t) {
+    auto& tenant = daemon.tenant(ids[t]);
+    alerts += tenant.stats().alerts_submitted;
+    const auto state = service::capture_tenant_state(tenant);
+    EXPECT_TRUE(state.strict_correct) << "tenant " << t;
+  }
+  ASSERT_GT(alerts, 0u) << "storm produced no alerts; raise attack_p";
+  const auto rebuilds =
+      obs::metrics().counter("deps.full_rebuilds").value() - rebuilds_before;
+  EXPECT_LE(rebuilds, kTenants);
+  EXPECT_GT(obs::metrics().counter("deps.stream_tags_propagated").value(),
+            tags_before);
+}
+
 // --- Weighted fairness in deterministic virtual time ---
 
 TEST(ServiceFairness, SaturatorCannotExceedWeightShare) {
@@ -477,6 +542,55 @@ TEST(ServiceQuarantine, ThrowingRecoveryIsolatesTenantKeepsWalIntact) {
   // drain_all reports the unclean tenant but still drains the rest.
   EXPECT_FALSE(daemon.drain_all());
   EXPECT_TRUE(daemon.tenant(healthy).draining());
+}
+
+TEST(ServiceQuarantine, RecoveredReplayYieldsIdenticalStreamingPlans) {
+  // After a quarantine, recover() replays the media into a fresh world.
+  // The streaming dependence index over the REPLAYED log (restore_entry
+  // path, not live appends) must behave exactly like a scratch build:
+  // identical plans, and recovery rounds splice instead of rebuilding.
+  ServiceConfig config;
+  config.workers = 0;
+  ServiceDaemon daemon(config);
+  const auto sick = daemon.add_tenant(TenantConfig{});
+  daemon.tenant(sick).set_chaos_hook(
+      [] { throw std::runtime_error("chaos: recovery fault"); });
+
+  ServiceClient client(daemon, sick);
+  ASSERT_TRUE(client.call(make_submit("r0", true)).ok);
+  Request alert;
+  alert.kind = RequestKind::kAlert;
+  alert.alert_run = 0;
+  ASSERT_TRUE(daemon.submit(sick, service::encode_frame(alert)).accepted);
+  daemon.run_until_idle();
+  ASSERT_TRUE(daemon.tenant(sick).quarantined());
+
+  engine::RecoveryReport report;
+  auto session = daemon.tenant(sick).durable_store()->recover(report);
+  ASSERT_TRUE(report.clean()) << report.summary();
+  ASSERT_NE(session.engine, nullptr);
+  auto& eng = *session.engine;
+
+  std::vector<engine::InstanceId> malicious;
+  for (const auto& e : eng.log().entries()) {
+    if (e.kind == engine::ActionKind::kMalicious) malicious.push_back(e.id);
+  }
+  ASSERT_FALSE(malicious.empty());
+
+  deps::DependencyAnalyzer streaming(eng.log(), eng.specs_by_run());
+  const recovery::RecoveryAnalyzer streaming_analyzer(eng, streaming);
+  const recovery::RecoveryAnalyzer fresh_analyzer(eng);
+  const auto plan = streaming_analyzer.analyze(malicious);
+  ASSERT_TRUE(plan == fresh_analyzer.analyze(malicious));
+
+  // Heal the replayed world; the recovery entries must splice.
+  recovery::RecoveryScheduler scheduler(eng);
+  scheduler.execute(plan);
+  EXPECT_TRUE(streaming.refresh(eng.log(), eng.specs_by_run()));
+  const deps::DependencyAnalyzer rebuilt(eng.log(), eng.specs_by_run());
+  EXPECT_EQ(streaming.edges(), rebuilt.edges());
+  EXPECT_TRUE(streaming.tainted_frontier().empty());
+  EXPECT_TRUE(recovery::CorrectnessChecker(eng).check().strict_correct());
 }
 
 TEST(ServiceQuarantine, ThrowingUnderWorkersKeepsDaemonAlive) {
