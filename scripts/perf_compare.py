@@ -34,6 +34,13 @@ from the JSON's "bench" field and dispatched to a per-bench metric map:
     true is a hard failure. Schema v2 adds `alert_to_plan_per_tenant`
     (the analyzer's streaming slice of heal latency): wall clock, so
     reported but not gated.
+  * replication_load     -- loss_sweep rows keyed by `loss_pct`;
+    watches `wall_ms`. Commit latency is measured in TRANSPORT ROUNDS
+    (the replication fabric's virtual clock), so the p50/p99/max
+    values, message counts, and the failover_sweep scenario (leader
+    killed mid-recovery, remaining steps finish on the new leader) are
+    all deterministic and exact-gated; `all_identical` /
+    `mid_recovery_failover` / `recovered_on_new_leader` must be true.
 
 Prints one markdown comparison table per pair (also appended to
 --summary-out, which CI points at $GITHUB_STEP_SUMMARY) and emits a
@@ -92,6 +99,37 @@ BENCHES = {
         "key": "workflows",
         "columns": ("checkpoint_ms", "scan_ms", "recover_ms"),
         "watch": "recover_ms",
+    },
+    "replication_load": {
+        "rows": "loss_sweep",
+        "key": "loss_pct",
+        "columns": ("wall_ms",),
+        "watch": "wall_ms",
+        # Everything measured in transport rounds is a pure function of
+        # the seed: commit latency percentiles, message counts, and the
+        # failover scenario are exact-gated; only wall_ms is host time.
+        "det": [
+            {
+                "rows": "loss_sweep",
+                "keys": ("loss_pct", "replicas"),
+                "exact": ("commits", "steps_committed",
+                          "commit_p50_rounds", "commit_p99_rounds",
+                          "commit_max_rounds", "rounds", "messages_sent",
+                          "messages_dropped", "elections", "all_identical"),
+                "must_true": ("all_identical",),
+            },
+            {
+                "rows": "failover_sweep",
+                "keys": ("replicas",),
+                "exact": ("kill_at", "failover_p50_rounds",
+                          "failover_max_rounds", "commits",
+                          "steps_committed", "elections",
+                          "mid_recovery_failover",
+                          "recovered_on_new_leader"),
+                "must_true": ("mid_recovery_failover",
+                              "recovered_on_new_leader"),
+            },
+        ],
     },
     "service_load": {
         "rows": "tenant_sweep",

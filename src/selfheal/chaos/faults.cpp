@@ -1,27 +1,17 @@
 #include "selfheal/chaos/faults.hpp"
 
+#include "selfheal/util/fault_schedule.hpp"
 #include "selfheal/util/rng.hpp"
 
 namespace selfheal::chaos {
 
-namespace {
-
-/// Uniform double in [0, 1) from a hash -- the same trick util::Rng uses
-/// for its uniform(), applied to a stateless mix.
-double hash_uniform(std::uint64_t h) {
-  return static_cast<double>(h >> 11) * 0x1.0p-53;
-}
-
-}  // namespace
-
 engine::TaskFault TaskFaultPlan::decide(engine::RunId run, wfspec::TaskId task,
                                         int incarnation, int attempt) {
   if (!config_.enabled()) return engine::TaskFault::kNone;
-  const std::uint64_t key =
-      util::mix64(seed_, util::mix64(static_cast<std::uint64_t>(run) << 32 |
-                                         static_cast<std::uint32_t>(task),
-                                     static_cast<std::uint64_t>(incarnation)));
-  const double u = hash_uniform(util::splitmix64(key));
+  const double u = util::schedule_uniform(
+      seed_, util::mix64(static_cast<std::uint64_t>(run) << 32 |
+                             static_cast<std::uint32_t>(task),
+                         static_cast<std::uint64_t>(incarnation)));
   if (u < config_.permanent_rate) {
     if (attempt == 1) ++permanent_injected_;
     return engine::TaskFault::kPermanent;

@@ -383,4 +383,60 @@ Session DurableSessionStore::recover(RecoveryReport& report) const {
   return session;
 }
 
+std::string DurableSessionStore::export_media() const {
+  std::ostringstream out;
+  out << "media v1 " << snapshots_.blobs().size() << " " << wal_.size() << " "
+      << base_generation_ << " " << base_log_size_ << " " << op_index_ << "\n";
+  for (const auto& blob : snapshots_.blobs()) {
+    out << "blob " << blob.size() << "\n" << blob;
+  }
+  out << wal_;
+  return out.str();
+}
+
+void DurableSessionStore::import_media(const std::string& blob) {
+  const auto bad = [](const std::string& what) {
+    throw std::invalid_argument("media import: " + what);
+  };
+  std::size_t pos = blob.find('\n');
+  if (pos == std::string::npos) bad("missing header line");
+  std::istringstream head(blob.substr(0, pos));
+  std::string magic;
+  std::string version;
+  std::size_t n_blobs = 0;
+  std::size_t wal_bytes = 0;
+  std::uint64_t base_generation = 0;
+  std::size_t base_log_size = 0;
+  std::uint64_t op_index = 0;
+  if (!(head >> magic >> version >> n_blobs >> wal_bytes >> base_generation >>
+        base_log_size >> op_index) ||
+      magic != "media" || version != "v1") {
+    bad("bad header");
+  }
+  ++pos;
+  storage::SnapshotChain snapshots;
+  for (std::size_t i = 0; i < n_blobs; ++i) {
+    const auto newline = blob.find('\n', pos);
+    if (newline == std::string::npos) bad("truncated blob header");
+    std::istringstream line(blob.substr(pos, newline - pos));
+    std::string keyword;
+    std::size_t bytes = 0;
+    if (!(line >> keyword >> bytes) || keyword != "blob") bad("bad blob header");
+    pos = newline + 1;
+    if (blob.size() - pos < bytes) bad("truncated blob body");
+    snapshots.push(blob.substr(pos, bytes));
+    pos += bytes;
+  }
+  if (blob.size() - pos != wal_bytes) bad("wal length mismatch");
+  snapshots_ = std::move(snapshots);
+  wal_ = blob.substr(pos);
+  base_generation_ = base_generation;
+  base_log_size_ = base_log_size;
+  op_index_ = op_index;
+  batch_open_ = false;
+  batch_.clear();
+  group_open_ = false;
+  group_.clear();
+}
+
 }  // namespace selfheal::engine

@@ -133,6 +133,16 @@ class DurableSessionStore final : public DurabilityObserver {
   /// damage is the expected input here.
   [[nodiscard]] Session recover(RecoveryReport& report) const;
 
+  /// Serialises the complete media state -- snapshot chain, WAL bytes,
+  /// and the base/op counters that make future checkpoints land with
+  /// the same generation numbers -- for replica state transfer. Only
+  /// meaningful at a step boundary (no open batch or group).
+  [[nodiscard]] std::string export_media() const;
+  /// Replaces this store's media with an export_media() blob, so the
+  /// importing store's future byte stream is identical to the source's.
+  /// Throws std::invalid_argument on malformed input.
+  void import_media(const std::string& blob);
+
   [[nodiscard]] const storage::SnapshotChain& snapshots() const noexcept {
     return snapshots_;
   }

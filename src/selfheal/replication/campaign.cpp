@@ -1,0 +1,220 @@
+#include "selfheal/replication/campaign.hpp"
+
+#include <exception>
+#include <sstream>
+
+#include "selfheal/util/fault_schedule.hpp"
+#include "selfheal/util/thread_pool.hpp"
+
+namespace selfheal::replication {
+
+namespace {
+
+// Independent schedule streams: partitions and kill points never shift
+// each other's decisions (same discipline as the storage injector).
+constexpr std::uint64_t kPartitionSalt = 0x9a97171095a17ULL;
+constexpr std::uint64_t kKillSalt = 0x4b111095a17ULL;
+constexpr std::uint64_t kTransportSalt = 0x7a0950a97ULL;
+
+std::vector<PartitionWindow> seeded_partitions(std::uint64_t seed,
+                                               std::size_t replicas) {
+  const std::uint64_t stream = seed ^ kPartitionSalt;
+  const std::size_t windows = 2 + util::schedule_index(stream, 0, 2);
+  std::vector<PartitionWindow> out;
+  out.reserve(windows);
+  std::uint64_t cursor = 16;
+  for (std::size_t w = 0; w < windows; ++w) {
+    PartitionWindow window;
+    window.begin_round =
+        cursor + util::schedule_index(stream, 1 + 3 * w, 160);
+    window.end_round =
+        window.begin_round + 16 + util::schedule_index(stream, 2 + 3 * w, 48);
+    // Isolate exactly one node: the other side keeps a quorum for any
+    // cluster size >= 3, so liveness is a matter of waiting the window
+    // out (or rotating leadership off the isolated node).
+    window.side_a = 1u << util::schedule_index(
+                        stream, 3 + 3 * w, static_cast<std::uint32_t>(replicas));
+    out.push_back(window);
+    cursor = window.end_round + 32;
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ReplicationCampaignConfig default_replication_campaign(std::uint64_t seed) {
+  ReplicationCampaignConfig config;
+  config.seed = seed;
+  config.storm.submissions = config.submissions;
+  config.storm.attack_p_quiet = 0.15;
+  config.storm.attack_p_burst = 0.9;
+  return config;
+}
+
+ReplicationCampaignResult run_replication_campaign(
+    const ReplicationCampaignConfig& config) {
+  ReplicationCampaignResult result;
+  result.seed = config.seed;
+
+  service::StormConfig storm = config.storm;
+  storm.seed = config.seed;
+  storm.submissions = config.submissions;
+  const auto trace = service::make_tenant_trace(storm, /*tenant=*/0);
+  const auto oracle = service::run_drive_once_oracle(config.tenant, trace);
+  result.oracle_strict = oracle.strict_correct;
+
+  ReplicaGroupConfig group_config;
+  group_config.replicas = config.replicas;
+  group_config.tenant = config.tenant;
+  group_config.transport.seed = config.seed ^ kTransportSalt;
+  group_config.transport.drop_rate = config.drop_rate;
+  group_config.transport.delay_rate = config.delay_rate;
+  group_config.transport.duplicate_rate = config.duplicate_rate;
+  group_config.snapshot_every = config.snapshot_every;
+
+  try {
+    ReplicaGroup group(group_config);
+    if (config.partitions) {
+      auto windows = seeded_partitions(config.seed, config.replicas);
+      result.partition_windows = windows.size();
+      group.transport().set_partitions(std::move(windows));
+    }
+    if (config.node_kills) {
+      const std::uint64_t stream = config.seed ^ kKillSalt;
+      // Land the kill inside the trace (commits ~= requests + steps);
+      // restart a few commits later so the victim rejoins via catch-up.
+      const std::uint64_t kill_at = 2 + util::schedule_index(
+                                        stream, 0,
+                                        static_cast<std::uint32_t>(
+                                            trace.size() + trace.size() / 2));
+      const std::uint64_t restart_after =
+          2 + util::schedule_index(stream, 1, 4);
+      group.schedule_kill_leader(kill_at, restart_after);
+    }
+
+    for (const auto& timed : trace) group.drive(timed.request);
+    group.heal();
+    // A kill whose restart point was never reached leaves the victim
+    // down; bring every replica back before the convergence gate.
+    for (std::size_t i = 0; i < group.replicas(); ++i) {
+      const auto id = static_cast<NodeId>(i);
+      if (!group.transport().alive(id)) group.restart(id);
+    }
+    group.sync();
+
+    result.converged = true;
+    result.commits = group.stats().commits;
+    result.steps_committed = group.stats().steps_committed;
+    result.elections = group.stats().elections;
+    result.leader_kills = group.stats().leader_kills;
+    result.mid_recovery_failover = group.stats().mid_recovery_failover;
+    result.rounds = group.transport().round();
+    result.transport = group.transport().stats();
+
+    for (std::size_t i = 0; i < group.replicas(); ++i) {
+      const auto state = group.capture(static_cast<NodeId>(i));
+      if (state.identical(oracle)) {
+        ++result.identical_replicas;
+      } else if (result.failure.empty()) {
+        result.failure =
+            "replica " + std::to_string(i) + " diverged from oracle";
+      }
+    }
+    result.all_identical = result.identical_replicas == group.replicas();
+  } catch (const std::exception& error) {
+    result.converged = false;
+    result.failure = error.what();
+  }
+  return result;
+}
+
+std::string ReplicationCampaignResult::to_json() const {
+  std::ostringstream out;
+  out << "{\"seed\": " << seed << ", \"passed\": " << (passed() ? 1 : 0)
+      << ", \"converged\": " << (converged ? 1 : 0)
+      << ", \"all_identical\": " << (all_identical ? 1 : 0)
+      << ", \"identical_replicas\": " << identical_replicas
+      << ", \"leader_kills\": " << leader_kills
+      << ", \"mid_recovery_failover\": " << (mid_recovery_failover ? 1 : 0)
+      << ", \"partition_windows\": " << partition_windows
+      << ", \"commits\": " << commits
+      << ", \"steps_committed\": " << steps_committed
+      << ", \"elections\": " << elections << ", \"rounds\": " << rounds
+      << ", \"oracle_strict\": " << (oracle_strict ? 1 : 0)
+      << ", \"sent\": " << transport.sent
+      << ", \"delivered\": " << transport.delivered
+      << ", \"dropped\": " << transport.dropped
+      << ", \"duplicated\": " << transport.duplicated
+      << ", \"delayed\": " << transport.delayed
+      << ", \"partition_drops\": " << transport.partition_drops
+      << ", \"dead_drops\": " << transport.dead_drops << ", \"failure\": \""
+      << json_escape(failure) << "\"}";
+  return out.str();
+}
+
+ReplicationCampaignSuite run_replication_campaigns(
+    std::uint64_t first_seed, std::size_t count,
+    const ReplicationCampaignConfig& base, std::size_t threads) {
+  ReplicationCampaignSuite suite;
+  suite.results.resize(count);
+  util::parallel_for_index(threads, count, [&](std::size_t i) {
+    ReplicationCampaignConfig config = base;
+    config.seed = first_seed + i;
+    suite.results[i] = run_replication_campaign(config);
+  });
+  for (const auto& result : suite.results) {
+    if (result.passed()) {
+      ++suite.passed;
+    } else {
+      ++suite.failed;
+    }
+    if (result.mid_recovery_failover) ++suite.mid_recovery_failovers;
+  }
+  return suite;
+}
+
+std::string ReplicationCampaignSuite::to_json(
+    const std::string& repro_prefix) const {
+  std::ostringstream out;
+  out << "{\n  \"harness\": \"replication_campaign\",\n"
+      << "  \"schema_version\": 1,\n"
+      << "  \"campaigns\": " << results.size()
+      << ",\n  \"passed\": " << passed << ",\n  \"failed\": " << failed
+      << ",\n  \"mid_recovery_failovers\": " << mid_recovery_failovers
+      << ",\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    out << "    " << results[i].to_json()
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"failing_seeds\": [\n";
+  bool first = true;
+  for (const auto& result : results) {
+    if (result.passed()) continue;
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"seed\": " << result.seed << ", \"repro\": \""
+        << repro_prefix << " --seed " << result.seed << "\"}";
+  }
+  if (!first) out << "\n";
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace selfheal::replication

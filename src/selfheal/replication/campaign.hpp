@@ -1,0 +1,107 @@
+// Seeded chaos campaigns for the replicated recovery controller.
+//
+// One campaign = one tenant request storm (service::make_tenant_trace)
+// driven through a ReplicaGroup under a seeded mix of network loss,
+// partition windows, and leader kills, then gated against the
+// drive-once oracle:
+//
+//   * byte identity -- after the final sync, EVERY replica's world
+//     (session text, durable WAL, effective store) must equal the
+//     oracle's, which replayed the same trace with no replication, no
+//     loss, no failover. Divergence is never tolerated, silent or
+//     otherwise;
+//   * liveness -- the whole run must finish within the group's
+//     per-commit round bounds (a throw marks the seed failed with the
+//     reason in `failure`);
+//   * failover -- leader kills are scheduled by commit index; when one
+//     lands while the world is mid-recovery, the campaign records that
+//     the remaining steps completed on the new leader.
+//
+// Campaigns are pure functions of their config: partition windows and
+// kill points derive from the seed via util/fault_schedule.hpp, results
+// carry no wall-clock data, and the suite JSON is byte-identical across
+// thread counts (per-seed result slots, chaos-campaign style).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "selfheal/replication/group.hpp"
+#include "selfheal/service/loadgen.hpp"
+
+namespace selfheal::replication {
+
+struct ReplicationCampaignConfig {
+  std::uint64_t seed = 1;
+  std::size_t replicas = 3;
+  /// Submissions per trace (alerts ride along per the storm model).
+  std::size_t submissions = 10;
+  service::StormConfig storm;
+  service::TenantConfig tenant;
+  /// Network fault rates (LossyTransport).
+  double drop_rate = 0.05;
+  double delay_rate = 0.10;
+  double duplicate_rate = 0.05;
+  /// Seeded partition windows (minority isolation, quorum preserved).
+  bool partitions = true;
+  /// Seeded leader kill + later restart, by commit index.
+  bool node_kills = true;
+  std::uint32_t snapshot_every = 6;
+};
+
+/// The default chaotic mix for campaign sweeps and CI smoke.
+[[nodiscard]] ReplicationCampaignConfig default_replication_campaign(
+    std::uint64_t seed);
+
+struct ReplicationCampaignResult {
+  std::uint64_t seed = 0;
+
+  // --- outcome gates ---
+  bool converged = false;      // finished within liveness bounds
+  bool all_identical = false;  // every replica byte-equal to the oracle
+  /// Replicas whose end state matched the oracle (== replicas on pass).
+  std::size_t identical_replicas = 0;
+  std::string failure;  // first liveness/equivalence diagnostic
+
+  // --- recorded chaos ---
+  std::uint64_t leader_kills = 0;
+  bool mid_recovery_failover = false;
+  std::uint64_t partition_windows = 0;
+
+  // --- run shape (deterministic; no wall clock) ---
+  std::uint64_t commits = 0;
+  std::uint64_t steps_committed = 0;
+  std::uint64_t elections = 0;
+  std::uint64_t rounds = 0;  // total transport rounds
+  bool oracle_strict = false;
+  TransportStats transport;
+
+  [[nodiscard]] bool passed() const {
+    return converged && all_identical && failure.empty();
+  }
+  [[nodiscard]] std::string to_json() const;
+};
+
+[[nodiscard]] ReplicationCampaignResult run_replication_campaign(
+    const ReplicationCampaignConfig& config);
+
+struct ReplicationCampaignSuite {
+  std::vector<ReplicationCampaignResult> results;
+  std::size_t passed = 0;
+  std::size_t failed = 0;
+  std::size_t mid_recovery_failovers = 0;
+
+  [[nodiscard]] bool all_passed() const { return failed == 0; }
+  /// Deterministic report; failing seeds carry a ready-to-run repro
+  /// line built from `repro_prefix`.
+  [[nodiscard]] std::string to_json(const std::string& repro_prefix) const;
+};
+
+/// Seeds [first_seed, first_seed + count) over `threads` workers; the
+/// suite (and its JSON) is byte-identical for any thread count.
+[[nodiscard]] ReplicationCampaignSuite run_replication_campaigns(
+    std::uint64_t first_seed, std::size_t count,
+    const ReplicationCampaignConfig& base, std::size_t threads);
+
+}  // namespace selfheal::replication

@@ -1,0 +1,213 @@
+#include "selfheal/replication/consensus.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "selfheal/storage/wal.hpp"
+
+namespace selfheal::replication {
+
+const char* to_string(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kPrepare: return "prepare";
+    case MsgKind::kPromise: return "promise";
+    case MsgKind::kNack: return "nack";
+    case MsgKind::kAccept: return "accept";
+    case MsgKind::kAccepted: return "accepted";
+    case MsgKind::kChosen: return "chosen";
+    case MsgKind::kCatchupRequest: return "catchup_request";
+    case MsgKind::kCatchupChosen: return "catchup_chosen";
+    case MsgKind::kCatchupSnapshot: return "catchup_snapshot";
+  }
+  return "?";
+}
+
+namespace {
+
+bool parse_kind(const std::string& token, MsgKind& out) {
+  for (const auto kind :
+       {MsgKind::kPrepare, MsgKind::kPromise, MsgKind::kNack, MsgKind::kAccept,
+        MsgKind::kAccepted, MsgKind::kChosen, MsgKind::kCatchupRequest,
+        MsgKind::kCatchupChosen, MsgKind::kCatchupSnapshot}) {
+    if (token == to_string(kind)) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string encode_msg(const Msg& msg) {
+  std::ostringstream out;
+  out << "rmsg " << to_string(msg.kind) << " " << msg.slot << " "
+      << msg.ballot.counter << " " << msg.ballot.node << " "
+      << msg.accepted.counter << " " << msg.accepted.node << " " << msg.applied
+      << " " << msg.value.size() << "\n"
+      << msg.value;
+  return out.str();
+}
+
+Msg decode_msg(const std::string& wire) {
+  const auto bad = [](const std::string& what) {
+    throw std::invalid_argument("replication msg: " + what);
+  };
+  const auto newline = wire.find('\n');
+  if (newline == std::string::npos) bad("missing header line");
+  std::istringstream head(wire.substr(0, newline));
+  std::string magic;
+  std::string kind_token;
+  Msg msg;
+  std::size_t value_bytes = 0;
+  if (!(head >> magic >> kind_token >> msg.slot >> msg.ballot.counter >>
+        msg.ballot.node >> msg.accepted.counter >> msg.accepted.node >>
+        msg.applied >> value_bytes) ||
+      magic != "rmsg" || !parse_kind(kind_token, msg.kind)) {
+    bad("bad header");
+  }
+  if (wire.size() - newline - 1 != value_bytes) bad("value length mismatch");
+  msg.value = wire.substr(newline + 1);
+  return msg;
+}
+
+AcceptorLog::AcceptorLog() : wal_(storage::wal_header()) {}
+
+void AcceptorLog::append(const std::string& payload) {
+  storage::wal_append(wal_, storage::WalRecordType::kData, payload);
+}
+
+void AcceptorLog::record_promise(std::uint64_t slot, Ballot promised) {
+  std::ostringstream out;
+  out << "promise " << slot << " " << promised.counter << " " << promised.node;
+  append(out.str());
+}
+
+void AcceptorLog::record_accept(std::uint64_t slot, Ballot ballot,
+                                const std::string& value) {
+  std::ostringstream out;
+  out << "accept " << slot << " " << ballot.counter << " " << ballot.node
+      << " " << value.size() << "\n"
+      << value;
+  append(out.str());
+}
+
+void AcceptorLog::record_chosen(std::uint64_t slot, const std::string& value) {
+  std::ostringstream out;
+  out << "chosen " << slot << " " << value.size() << "\n" << value;
+  append(out.str());
+}
+
+void AcceptorLog::record_snapshot(std::uint64_t applied,
+                                  const std::string& blob) {
+  std::ostringstream out;
+  out << "snapshot " << applied << " " << blob.size() << "\n" << blob;
+  append(out.str());
+}
+
+AcceptorLog::Recovered AcceptorLog::replay(const std::string& wal_bytes) {
+  const auto bad = [](const std::string& what) {
+    throw std::invalid_argument("acceptor log: " + what);
+  };
+  Recovered recovered;
+  const auto scan = storage::scan_wal(wal_bytes);
+  recovered.torn = !scan.error.ok();
+  for (const auto& record : scan.records) {
+    if (record.type != storage::WalRecordType::kData) continue;
+    const auto newline = record.payload.find('\n');
+    const std::string header = record.payload.substr(0, newline);
+    const std::string body =
+        newline == std::string::npos ? "" : record.payload.substr(newline + 1);
+    std::istringstream head(header);
+    std::string keyword;
+    head >> keyword;
+    if (keyword == "promise") {
+      std::uint64_t slot = 0;
+      Ballot ballot;
+      if (!(head >> slot >> ballot.counter >> ballot.node)) {
+        bad("malformed promise record");
+      }
+      auto& entry = recovered.slots[slot];
+      if (entry.promised < ballot) entry.promised = ballot;
+    } else if (keyword == "accept") {
+      std::uint64_t slot = 0;
+      Ballot ballot;
+      std::size_t bytes = 0;
+      if (!(head >> slot >> ballot.counter >> ballot.node >> bytes) ||
+          body.size() != bytes) {
+        bad("malformed accept record");
+      }
+      auto& entry = recovered.slots[slot];
+      if (entry.promised < ballot) entry.promised = ballot;
+      if (entry.accepted < ballot || !entry.accepted.valid()) {
+        entry.accepted = ballot;
+        entry.value = body;
+      }
+    } else if (keyword == "chosen") {
+      std::uint64_t slot = 0;
+      std::size_t bytes = 0;
+      if (!(head >> slot >> bytes) || body.size() != bytes) {
+        bad("malformed chosen record");
+      }
+      recovered.chosen[slot] = body;
+    } else if (keyword == "snapshot") {
+      std::uint64_t applied = 0;
+      std::size_t bytes = 0;
+      if (!(head >> applied >> bytes) || body.size() != bytes) {
+        bad("malformed snapshot record");
+      }
+      recovered.snapshot = {applied, body};
+    } else {
+      bad("unknown record keyword '" + keyword + "'");
+    }
+  }
+  return recovered;
+}
+
+bool CommitTracker::record(std::uint64_t slot, std::string value) {
+  if (knows(slot)) return false;
+  chosen_.emplace(slot, std::move(value));
+  return true;
+}
+
+std::optional<std::pair<std::uint64_t, std::string>> CommitTracker::next() {
+  const auto it = chosen_.find(next_apply_);
+  if (it == chosen_.end()) return std::nullopt;
+  return std::make_pair(it->first, it->second);
+}
+
+const std::string* CommitTracker::chosen(std::uint64_t slot) const {
+  const auto it = chosen_.find(slot);
+  return it == chosen_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t CommitTracker::max_known() const {
+  if (chosen_.empty()) return next_apply_ == 0 ? 0 : next_apply_ - 1;
+  return std::max(chosen_.rbegin()->first,
+                  next_apply_ == 0 ? 0 : next_apply_ - 1);
+}
+
+std::uint64_t CommitTracker::first_unknown() const {
+  std::uint64_t slot = next_apply_;
+  while (chosen_.count(slot) > 0) ++slot;
+  return slot;
+}
+
+void CommitTracker::reset_to(std::uint64_t next_apply) {
+  next_apply_ = next_apply;
+  floor_ = std::max(floor_, next_apply);
+  while (!chosen_.empty() && chosen_.begin()->first < next_apply_) {
+    chosen_.erase(chosen_.begin());
+  }
+}
+
+void CommitTracker::compact(std::uint64_t floor) {
+  floor_ = std::max(floor_, floor);
+  while (!chosen_.empty() && chosen_.begin()->first < floor_ &&
+         chosen_.begin()->first < next_apply_) {
+    chosen_.erase(chosen_.begin());
+  }
+}
+
+}  // namespace selfheal::replication

@@ -3,14 +3,13 @@
 #include <algorithm>
 #include <memory>
 #include <sstream>
-#include <stdexcept>
 
 #include "selfheal/engine/durable_session.hpp"
 #include "selfheal/engine/session_io.hpp"
 #include "selfheal/recovery/controller.hpp"
 #include "selfheal/recovery/correctness.hpp"
+#include "selfheal/service/world.hpp"
 #include "selfheal/util/rng.hpp"
-#include "selfheal/wfspec/parser.hpp"
 
 namespace selfheal::service {
 
@@ -137,9 +136,11 @@ std::vector<engine::Value> effective_store(const engine::Engine& engine) {
   return values;
 }
 
-TenantEndState capture(engine::Engine& engine,
-                       engine::DurableSessionStore* durable,
-                       const recovery::ControllerStats& stats) {
+}  // namespace
+
+TenantEndState capture_end_state(engine::Engine& engine,
+                                 engine::DurableSessionStore* durable,
+                                 const recovery::ControllerStats& stats) {
   TenantEndState state;
   std::ostringstream session;
   engine::save_session(engine, session);
@@ -154,103 +155,28 @@ TenantEndState capture(engine::Engine& engine,
   return state;
 }
 
-}  // namespace
-
 TenantEndState capture_tenant_state(Tenant& tenant) {
-  return capture(tenant.engine(), tenant.durable_store(),
-                 tenant.controller().stats());
+  return capture_end_state(tenant.engine(), tenant.durable_store(),
+                           tenant.controller().stats());
 }
 
 TenantEndState run_drive_once_oracle(const TenantConfig& config,
                                      const std::vector<TimedRequest>& trace) {
-  // Deliberately re-built from primitives (no Tenant, no daemon): the
+  // Deliberately built from primitives (no Tenant, no daemon): the
   // oracle shares only the documented step contract with the service --
   // requests handle in arrival order, recovery drains to NORMAL first,
-  // one step per WAL batch.
-  wfspec::ObjectCatalog catalog;
-  engine::Engine engine(config.engine);
-  std::unique_ptr<engine::DurableSessionStore> durable;
-  if (config.durable) {
-    durable = std::make_unique<engine::DurableSessionStore>();
-    durable->checkpoint(engine);
-    engine.set_durability_observer(durable.get());
-  }
-  auto controller = std::make_unique<recovery::SelfHealingController>(
-      engine, config.controller);
-  std::vector<std::unique_ptr<wfspec::WorkflowSpec>> specs;
-  std::vector<engine::RunId> runs;
-
-  const auto batched = [&](const auto& work) {
-    if (durable != nullptr) durable->begin_batch();
-    work();
-    if (durable != nullptr) durable->end_batch();
-  };
+  // one step per WAL batch. TenantWorld IS that contract; the same
+  // class applies the replicated shard's chosen log on every node.
+  TenantWorld world(config);
   const auto heal_to_normal = [&] {
-    while (controller->state() != recovery::SystemState::kNormal) {
-      batched([&] {
-        if (!controller->scan_one() && !controller->recover_one()) {
-          throw std::logic_error("oracle: controller stalled");
-        }
-      });
-    }
+    while (!world.normal()) world.apply_step();
   };
-
   for (const auto& timed : trace) {
     heal_to_normal();
-    const Request& request = timed.request;
-    switch (request.kind) {
-      case RequestKind::kSubmitRun: {
-        auto spec = std::make_unique<wfspec::WorkflowSpec>(
-            wfspec::parse_workflow(request.spec_dsl, catalog));
-        std::vector<std::pair<wfspec::TaskId, int>> attacks;
-        for (const auto& mark : request.attacks) {
-          attacks.emplace_back(spec->task_by_name(mark.task),
-                               mark.incarnation);
-        }
-        specs.push_back(std::move(spec));
-        // Mirrors Tenant::handle_submit: a submit step ends in a
-        // checkpoint (the WAL cannot replay spec/run creation), so the
-        // buffered batch is subsumed by the snapshot, never appended.
-        if (durable != nullptr) durable->begin_batch();
-        {
-          const auto run = engine.start_run(*specs.back());
-          for (const auto& [task, incarnation] : attacks) {
-            engine.inject_malicious(run, task, incarnation);
-          }
-          engine.run_all();
-          runs.push_back(run);
-        }
-        if (durable != nullptr) durable->checkpoint(engine);
-        break;
-      }
-      case RequestKind::kAlert: {
-        if (request.alert_run >= runs.size()) {
-          throw std::out_of_range("oracle: alert for unknown run");
-        }
-        const auto run = runs[request.alert_run];
-        ids::Alert alert;
-        for (const auto& entry : engine.log().entries()) {
-          if (entry.kind == engine::ActionKind::kMalicious &&
-              entry.run == run) {
-            alert.malicious.push_back(entry.id);
-          }
-        }
-        alert.report_time = static_cast<double>(engine.log().size());
-        controller->submit_alert(std::move(alert));
-        break;
-      }
-      case RequestKind::kQuery:
-      case RequestKind::kDrain:
-        break;  // read-only / seal: no engine effect
-    }
+    world.apply(timed.request);
   }
   heal_to_normal();
-
-  TenantEndState state = capture(engine, durable.get(), controller->stats());
-  // Teardown order mirrors Tenant::~Tenant.
-  controller.reset();
-  engine.set_durability_observer(nullptr);
-  return state;
+  return world.capture();
 }
 
 }  // namespace selfheal::service

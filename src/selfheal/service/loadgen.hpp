@@ -80,6 +80,12 @@ struct TenantEndState {
 /// Captures a (drained, idle) service tenant's end state.
 [[nodiscard]] TenantEndState capture_tenant_state(Tenant& tenant);
 
+/// The capture primitive behind capture_tenant_state, shared with the
+/// oracle world and the replication layer's per-node captures.
+[[nodiscard]] TenantEndState capture_end_state(
+    engine::Engine& engine, engine::DurableSessionStore* durable,
+    const recovery::ControllerStats& stats);
+
 /// Replays `trace` on a bare engine/controller/store built from
 /// `config` (queue fields ignored) and captures the end state.
 [[nodiscard]] TenantEndState run_drive_once_oracle(

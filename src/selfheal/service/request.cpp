@@ -61,6 +61,7 @@ const char* to_token(RejectReason reason) {
     case RejectReason::kUnknownTenant: return "unknown_tenant";
     case RejectReason::kBadFrame: return "bad_frame";
     case RejectReason::kStopped: return "stopped";
+    case RejectReason::kRedirected: return "redirected";
   }
   return "?";
 }

@@ -74,6 +74,8 @@ enum class RejectReason {
   kUnknownTenant,  // "unknown_tenant": no such tenant id
   kBadFrame,       // "bad_frame": frame header/checksum/payload malformed
   kStopped,        // "stopped": the daemon is shutting down
+  kRedirected,     // "redirected": this replica is a follower; retry at
+                   // the leader named in Ack::leader_hint
 };
 
 [[nodiscard]] const char* to_token(RejectReason reason);
@@ -84,6 +86,9 @@ struct Ack {
   RejectReason reason = RejectReason::kNone;
   std::size_t queue_depth = 0;        // tenant queue depth after the verdict
   std::uint64_t queued_bytes = 0;     // global queued bytes after the verdict
+  /// On kRedirected: the node the client should retry at (the replica
+  /// this follower believes is the leader). -1 otherwise.
+  std::int32_t leader_hint = -1;
   [[nodiscard]] const char* reason_token() const { return to_token(reason); }
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "selfheal/obs/metrics.hpp"
+#include "selfheal/util/fault_schedule.hpp"
 #include "selfheal/util/rng.hpp"
 
 namespace selfheal::storage {
@@ -14,10 +15,6 @@ constexpr std::uint64_t kDecideSalt = 0x5704a6e0fa017ULL;
 constexpr std::uint64_t kTearSalt = 0x7ea70c4a71ULL;
 constexpr std::uint64_t kFlipSalt = 0xf11b17f11bULL;
 constexpr std::uint64_t kChopSalt = 0xc40bc40bc4ULL;
-
-double hash_uniform(std::uint64_t h) {
-  return static_cast<double>(h >> 11) * 0x1.0p-53;
-}
 
 struct FaultMetrics {
   obs::Counter& injected = obs::metrics().counter("storage.faults.injected");
@@ -45,22 +42,15 @@ const char* to_string(StorageFaultKind kind) {
 StorageFaultKind StorageFaultInjector::decide(std::uint64_t op,
                                               bool snapshot) const {
   if (!config_.enabled()) return StorageFaultKind::kNone;
-  const std::uint64_t key =
-      util::mix64(seed_ ^ kDecideSalt, util::mix64(op, snapshot ? 1 : 2));
-  double u = hash_uniform(util::splitmix64(key));
-
-  const auto draw = [&u](double rate) {
-    if (u < rate) return true;
-    u -= rate;
-    return false;
-  };
-  if (draw(config_.torn_write_rate)) return StorageFaultKind::kTornWrite;
-  if (draw(config_.bit_flip_rate)) return StorageFaultKind::kBitFlip;
-  if (draw(config_.truncation_rate)) return StorageFaultKind::kTruncation;
-  if (!snapshot && draw(config_.duplicate_record_rate)) {
+  util::ScheduleDraw draw(util::schedule_uniform(
+      seed_ ^ kDecideSalt, util::mix64(op, snapshot ? 1 : 2)));
+  if (draw.fires(config_.torn_write_rate)) return StorageFaultKind::kTornWrite;
+  if (draw.fires(config_.bit_flip_rate)) return StorageFaultKind::kBitFlip;
+  if (draw.fires(config_.truncation_rate)) return StorageFaultKind::kTruncation;
+  if (!snapshot && draw.fires(config_.duplicate_record_rate)) {
     return StorageFaultKind::kDuplicateRecord;
   }
-  if (snapshot && draw(config_.crash_before_rename_rate)) {
+  if (snapshot && draw.fires(config_.crash_before_rename_rate)) {
     return StorageFaultKind::kCrashBeforeRename;
   }
   return StorageFaultKind::kNone;
@@ -68,9 +58,7 @@ StorageFaultKind StorageFaultInjector::decide(std::uint64_t op,
 
 std::size_t StorageFaultInjector::position(std::uint64_t op, std::uint64_t salt,
                                            std::size_t n) const {
-  if (n == 0) return 0;
-  return static_cast<std::size_t>(
-      util::splitmix64(util::mix64(seed_ ^ salt, op)) % n);
+  return static_cast<std::size_t>(util::schedule_index(seed_ ^ salt, op, n));
 }
 
 StorageFaultKind StorageFaultInjector::on_wal_append(std::string& medium,

@@ -1,0 +1,68 @@
+// Stateless fault schedules: deterministic draws keyed by operation
+// identity instead of generator state.
+//
+// Every fault plan in this repository answers the same question -- "does
+// fault F fire on operation O?" -- as a pure hash of (seed, salt, O), so
+// enabling one fault class, reordering unrelated operations, or running
+// the same plan on another thread never shifts another class's
+// decisions. storage::StorageFaultInjector (media damage per write op),
+// chaos::TaskFaultPlan (task faults per (run, task, incarnation)), and
+// replication::LossyTransport (message fates per send) all draw from
+// this one helper; the salt separates the independent decision streams
+// a single plan makes about the same operation.
+#pragma once
+
+#include <cstdint>
+
+#include "selfheal/util/rng.hpp"
+
+namespace selfheal::util {
+
+/// Uniform double in [0, 1) from a well-mixed hash -- the same mantissa
+/// trick Rng::uniform() uses, applied to a stateless mix.
+[[nodiscard]] constexpr double hash_uniform(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// The schedule's key: one well-mixed word per (stream, op) pair.
+[[nodiscard]] constexpr std::uint64_t schedule_key(std::uint64_t stream,
+                                                   std::uint64_t op) noexcept {
+  return splitmix64(mix64(stream, op));
+}
+
+/// Uniform double in [0, 1) for operation `op` of decision stream
+/// `stream` (conventionally seed ^ salt).
+[[nodiscard]] constexpr double schedule_uniform(std::uint64_t stream,
+                                                std::uint64_t op) noexcept {
+  return hash_uniform(schedule_key(stream, op));
+}
+
+/// Deterministic index in [0, n) for operation `op` of `stream`
+/// (position of a tear, a bit to flip, a delay bucket). n == 0 yields 0.
+[[nodiscard]] constexpr std::uint64_t schedule_index(std::uint64_t stream,
+                                                     std::uint64_t op,
+                                                     std::uint64_t n) noexcept {
+  return n == 0 ? 0 : schedule_key(stream, op) % n;
+}
+
+/// Subtractive multi-way draw over one uniform sample: at most one of a
+/// cascade of mutually exclusive outcomes fires, each with its nominal
+/// rate, and adding an outcome never changes which earlier outcome a
+/// given sample selects.
+class ScheduleDraw {
+ public:
+  explicit constexpr ScheduleDraw(double u) noexcept : u_(u) {}
+
+  /// True if this outcome (probability `rate`) fires; otherwise the
+  /// sample is shifted past it so later outcomes keep their own rates.
+  constexpr bool fires(double rate) noexcept {
+    if (u_ < rate) return true;
+    u_ -= rate;
+    return false;
+  }
+
+ private:
+  double u_;
+};
+
+}  // namespace selfheal::util

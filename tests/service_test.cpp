@@ -148,6 +148,7 @@ TEST(ServiceFraming, RejectTokensAreStable) {
                "unknown_tenant");
   EXPECT_STREQ(service::to_token(RejectReason::kBadFrame), "bad_frame");
   EXPECT_STREQ(service::to_token(RejectReason::kStopped), "stopped");
+  EXPECT_STREQ(service::to_token(RejectReason::kRedirected), "redirected");
 }
 
 // --- Admission control ---

@@ -317,4 +317,146 @@ TEST(StorageCorruption, InjectorIsDeterministicPerSeed) {
   }
 }
 
+// --- Crash mid-step: the WAL batch/group contract ---
+//
+// The controller brackets each recovery step in begin_batch/end_batch,
+// so ONE WAL record is the rewind unit. These tests pin the three crash
+// windows around that contract: before the record is emitted, mid-way
+// through its media append, and mid-way through a group append carrying
+// several records. Recovery must always land exactly on a step
+// boundary -- never replay half a step, never silently.
+
+TEST(StorageCorruption, OpenBatchNeverEndedRewindsToStepBoundary) {
+  auto scenario = sim::make_attack_scenario(5, 3, 2);
+  auto& eng = *scenario.engine;
+  engine::DurableSessionStore store;
+  store.checkpoint(eng);
+  eng.set_durability_observer(&store);
+  const auto boundary_text = session_text(eng);
+  const auto boundary_wal = store.wal();
+
+  // One whole step's commits buffered in the open batch -- then the
+  // process "dies" before end_batch(). Nothing reached the media.
+  store.begin_batch();
+  recovery::RecoveryScheduler scheduler(eng);
+  scheduler.execute(recovery::RecoveryAnalyzer(eng).analyze(scenario.malicious));
+  eng.set_durability_observer(nullptr);
+
+  EXPECT_EQ(store.wal(), boundary_wal);  // media untouched mid-step
+  engine::RecoveryReport report;
+  const auto recovered = store.recover(report);
+  ASSERT_NE(recovered.engine, nullptr);
+  EXPECT_TRUE(report.clean()) << report.summary();
+  EXPECT_EQ(report.wal_records_replayed, 0u);
+  // Exactly the pre-step boundary: the in-flight step is gone whole,
+  // not half-applied.
+  EXPECT_EQ(session_text(*recovered.engine), boundary_text);
+  EXPECT_NE(session_text(eng), boundary_text);  // the live state moved on
+}
+
+TEST(StorageCorruption, TornBatchRecordRewindsToStepBoundaryExplicitly) {
+  auto scenario = sim::make_attack_scenario(6, 3, 2);
+  auto& eng = *scenario.engine;
+  engine::DurableSessionStore store;
+  store.checkpoint(eng);
+  eng.set_durability_observer(&store);
+  const auto boundary_text = session_text(eng);
+  const auto boundary_size = store.wal().size();
+
+  store.begin_batch();
+  recovery::RecoveryScheduler scheduler(eng);
+  scheduler.execute(recovery::RecoveryAnalyzer(eng).analyze(scenario.malicious));
+  store.end_batch();  // the whole step lands as ONE record...
+  eng.set_durability_observer(nullptr);
+  ASSERT_GT(store.wal().size(), boundary_size);
+
+  // ...and the crash tears that record's append half-way.
+  store.mutable_wal().resize(
+      boundary_size + (store.wal().size() - boundary_size) / 2);
+
+  engine::RecoveryReport report;
+  const auto recovered = store.recover(report);
+  ASSERT_NE(recovered.engine, nullptr);
+  // Explicitly lossy -- never silent, never half a step.
+  EXPECT_FALSE(report.lossless());
+  EXPECT_TRUE(report.lost_updates);
+  EXPECT_EQ(report.wal_error.kind, storage::WalErrorKind::kTornTail);
+  EXPECT_FALSE(report.wal_parse_failure);
+  EXPECT_EQ(report.wal_records_replayed, 0u);
+  EXPECT_EQ(session_text(*recovered.engine), boundary_text);
+}
+
+TEST(StorageCorruption, TornGroupAppendReplaysOnlyWholeRecords) {
+  auto scenario = sim::make_attack_scenario(7, 3, 2);
+  auto& eng = *scenario.engine;
+  engine::DurableSessionStore store;
+  store.checkpoint(eng);
+  eng.set_durability_observer(&store);
+
+  // Group commit: per-commit records keep their frames but land as one
+  // media append (the parallel executor's amortised fsync).
+  store.begin_group();
+  recovery::RecoveryScheduler scheduler(eng);
+  scheduler.execute(recovery::RecoveryAnalyzer(eng).analyze(scenario.malicious));
+  store.end_group();
+  eng.set_durability_observer(nullptr);
+
+  const auto scan = storage::scan_wal(store.wal());
+  ASSERT_TRUE(scan.error.ok());
+  ASSERT_GE(scan.records.size(), 2u);
+
+  // Crash mid-way through the group append: the last frame is torn.
+  const auto last_offset = scan.records.back().offset;
+  store.mutable_wal().resize(last_offset + 5);
+
+  // "Only whole records" is checkable: recovery from the torn media
+  // must equal recovery from the clean whole-record prefix, byte for
+  // byte -- plus an explicit loss report for the torn frame.
+  engine::DurableSessionStore twin;
+  twin.import_media(store.export_media());
+  twin.mutable_wal().resize(last_offset);  // whole-record prefix
+
+  engine::RecoveryReport torn_report;
+  const auto torn = store.recover(torn_report);
+  engine::RecoveryReport clean_report;
+  const auto clean = twin.recover(clean_report);
+  ASSERT_NE(torn.engine, nullptr);
+  ASSERT_NE(clean.engine, nullptr);
+  EXPECT_TRUE(torn_report.lost_updates);
+  EXPECT_EQ(torn_report.wal_error.kind, storage::WalErrorKind::kTornTail);
+  EXPECT_FALSE(torn_report.wal_parse_failure);
+  // scan.records counts the base meta record too; replay counts data
+  // records only, and the torn last frame is gone.
+  EXPECT_EQ(torn_report.wal_records_replayed, scan.records.size() - 2);
+  EXPECT_EQ(session_text(*torn.engine), session_text(*clean.engine));
+}
+
+TEST(StorageCorruption, MediaExportImportRoundTripsByteIdentically) {
+  auto scenario = sim::make_attack_scenario(8, 3, 2);
+  auto& eng = *scenario.engine;
+  engine::DurableSessionStore store;
+  store.checkpoint(eng);
+  eng.set_durability_observer(&store);
+  recovery::RecoveryScheduler scheduler(eng);
+  scheduler.execute(recovery::RecoveryAnalyzer(eng).analyze(scenario.malicious));
+  eng.set_durability_observer(nullptr);
+
+  engine::DurableSessionStore twin;
+  twin.import_media(store.export_media());
+  EXPECT_EQ(twin.wal(), store.wal());
+  EXPECT_EQ(twin.ops(), store.ops());
+  engine::RecoveryReport a, b;
+  const auto from_store = store.recover(a);
+  const auto from_twin = twin.recover(b);
+  ASSERT_NE(from_store.engine, nullptr);
+  ASSERT_NE(from_twin.engine, nullptr);
+  EXPECT_EQ(session_text(*from_store.engine), session_text(*from_twin.engine));
+  // Future appends land identically too (same base counters).
+  twin.checkpoint(*from_twin.engine);
+  store.checkpoint(*from_store.engine);
+  EXPECT_EQ(twin.wal(), store.wal());
+
+  EXPECT_THROW(twin.import_media("not a media blob"), std::invalid_argument);
+}
+
 }  // namespace

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <vector>
 
+#include "selfheal/util/fault_schedule.hpp"
 #include "selfheal/util/flags.hpp"
 #include "selfheal/util/log.hpp"
 #include "selfheal/util/rng.hpp"
@@ -226,6 +227,46 @@ TEST(Log, LevelGatesMessages) {
   log_debug("should be invisible");  // just exercising the path
   set_log_level(LogLevel::Warn);
   EXPECT_EQ(log_level(), LogLevel::Warn);
+}
+
+TEST(FaultSchedule, DrawsAreStatelessAndDeterministic) {
+  // Same (stream, op) in, same draw out -- no generator state anywhere.
+  EXPECT_DOUBLE_EQ(schedule_uniform(42, 7), schedule_uniform(42, 7));
+  EXPECT_EQ(schedule_index(42, 7, 10), schedule_index(42, 7, 10));
+  // Reproduces the underlying hash construction exactly (the refactor
+  // of the storage/chaos fault plans rides on this identity).
+  EXPECT_DOUBLE_EQ(schedule_uniform(42, 7),
+                   hash_uniform(splitmix64(mix64(42, 7))));
+  // Distinct streams (salts) decouple decisions about the same op.
+  EXPECT_NE(schedule_uniform(42, 7), schedule_uniform(43, 7));
+  for (std::uint64_t op = 0; op < 256; ++op) {
+    const double u = schedule_uniform(1, op);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    EXPECT_LT(schedule_index(1, op, 5), 5u);
+  }
+  EXPECT_EQ(schedule_index(1, 2, 0), 0u);
+}
+
+TEST(FaultSchedule, SubtractiveCascadeIsExclusiveAndStable) {
+  // One sample, mutually exclusive outcomes at their nominal rates.
+  {
+    ScheduleDraw draw(0.05);
+    EXPECT_TRUE(draw.fires(0.1));
+  }
+  {
+    ScheduleDraw draw(0.15);
+    EXPECT_FALSE(draw.fires(0.1));  // past the first band...
+    EXPECT_TRUE(draw.fires(0.1));   // ...lands in the second
+  }
+  {
+    // Adding a later outcome never changes an earlier decision.
+    ScheduleDraw a(0.25);
+    ScheduleDraw b(0.25);
+    EXPECT_EQ(a.fires(0.1), b.fires(0.1));
+    EXPECT_EQ(a.fires(0.1), b.fires(0.1));
+    EXPECT_FALSE(b.fires(0.04));  // 0.25 - 0.2 = 0.05 >= 0.04
+  }
 }
 
 }  // namespace
